@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table/figure/claim of the paper (see the
+per-experiment index in DESIGN.md), prints a paper-vs-measured
+rendering, and asserts the *shape* of the result (who wins, by roughly
+what factor) — not the absolute numbers, which come from a calibrated
+simulator rather than the authors' testbed.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see
+the rendered tables).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic simulation experiment exactly once under
+    pytest-benchmark (re-running a deterministic sim adds nothing but
+    wall-clock)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""A parallel reduction across the cluster (the §1 scientific-computing
+motivation).
+
+Four workstations each own a slice of a data set in their local shared
+memory.  Every node reduces its slice locally, then publishes its
+partial sum with a single remote fetch&add into a global accumulator,
+and synchronises at a barrier built from the same primitives
+(fetch&add + remote reads + FENCE, §2.3.5: "The MEMORY_BARRIER
+operation is embedded inside all implementations of synchronization
+operations").
+
+Run:  python examples/parallel_reduction.py
+"""
+
+from repro.api import Barrier, Cluster
+
+
+N_NODES = 4
+SLICE_WORDS = 64
+
+
+def main():
+    cluster = Cluster(n_nodes=N_NODES)
+    accumulator = cluster.alloc_segment(home=0, pages=1, name="acc")
+    sync = cluster.alloc_segment(home=0, pages=1, name="sync")
+
+    # Each node's slice lives in its own shared memory; values are
+    # node*1000 + i so the expected total is easy to compute.
+    slices = []
+    expected_total = 0
+    for node in range(N_NODES):
+        seg = cluster.alloc_segment(home=node, pages=1, name=f"slice{node}")
+        for i in range(SLICE_WORDS):
+            value = node * 3 + i
+            seg.poke(4 * i, value)
+            expected_total += value
+        slices.append(seg)
+
+    contexts = []
+    partials = {}
+    for node in range(N_NODES):
+        proc = cluster.create_process(node=node, name=f"worker{node}")
+        slice_base = proc.map(slices[node])          # local shared data
+        acc_base = proc.map(accumulator)             # remote accumulator
+        sync_base = proc.map(sync)
+        barrier = Barrier(proc, sync_base, sync_base + 4, n_parties=N_NODES)
+
+        def worker(p, slice_base=slice_base, acc_base=acc_base,
+                   barrier=barrier, node=node):
+            # Local reduction over this node's slice.
+            total = 0
+            for i in range(SLICE_WORDS):
+                total += yield p.load(slice_base + 4 * i)
+            partials[node] = total
+            # One remote atomic publishes the partial sum.
+            yield from p.fetch_and_add(acc_base, total)
+            # Everyone synchronises before reading the result.
+            yield from barrier.wait()
+            grand = yield p.load(acc_base)
+            assert grand == expected_total, (node, grand)
+
+        contexts.append(cluster.start(proc, worker))
+
+    cluster.run_programs(contexts)
+    print(f"{N_NODES} nodes reduced {N_NODES * SLICE_WORDS} words "
+          f"in {cluster.now / 1000.0:.0f} us (simulated)")
+    for node in range(N_NODES):
+        print(f"  node {node}: partial sum {partials[node]}")
+    print(f"global sum at home node: {accumulator.peek(0)} "
+          f"(expected {expected_total})")
+    assert accumulator.peek(0) == expected_total
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Command-line self-check: ``python -m repro``.
+
+Builds a small cluster, exercises every §2.2 primitive, measures the
+§3.2 headline latencies, and prints a paper-vs-measured summary — a
+thirty-second smoke test that the installation works.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import comparison_table, measure_op_stream, us
+from repro.api import Cluster
+from repro.hib import GateCountModel
+
+
+def self_check() -> int:
+    print("Telegraphos reproduction — self-check")
+    print("=" * 60)
+
+    # 1. Functional pass over every primitive.
+    cluster = Cluster(n_nodes=2)
+    seg = cluster.alloc_segment(home=1, pages=1, name="check")
+    proc = cluster.create_process(node=0, name="check")
+    base = proc.map(seg)
+    observed = {}
+
+    def program(p):
+        yield p.store(base, 7)
+        yield p.fence()
+        observed["read"] = yield p.load(base)
+        observed["fadd"] = yield from p.fetch_and_add(base + 4, 3)
+        observed["cas"] = yield from p.compare_and_swap(base + 4, 3, 9)
+        yield from p.remote_copy(base, base + 8)
+        yield p.fence()
+
+    cluster.run_programs([cluster.start(proc, program)])
+    functional = (
+        observed == {"read": 7, "fadd": 0, "cas": 3}
+        and seg.peek(4) == 9
+        and seg.peek(8) == 7
+    )
+    print(f"primitives (write/read/fence/atomics/copy): "
+          f"{'OK' if functional else 'FAILED'}")
+
+    # 2. The §3.2 headline latencies.
+    def write_us():
+        c = Cluster(n_nodes=2, trace=False)
+        s = c.alloc_segment(home=1, pages=2, name="b")
+        p = c.create_process(node=0, name="b")
+        b = p.map(s)
+        return us(measure_op_stream(
+            c, p, lambda i: p.store(b + 4 * (i % 512), i), count=2000))
+
+    def read_us():
+        c = Cluster(n_nodes=2, trace=False)
+        s = c.alloc_segment(home=1, pages=2, name="b")
+        p = c.create_process(node=0, name="b")
+        b = p.map(s)
+        return us(measure_op_stream(
+            c, p, lambda i: p.load(b), count=200, fence_at_end=False))
+
+    w, r = write_us(), read_us()
+    print()
+    print(comparison_table(
+        "S3.2 latencies",
+        [("Remote Read (us)", 7.2, r), ("Remote Write (us)", 0.70, w)],
+    ).render())
+
+    # 3. Table 1 headline.
+    model = GateCountModel()
+    print()
+    print(f"Table 1: shared-memory support = "
+          f"{model.shared_memory_gates} gates "
+          f"(paper: 2700) — "
+          f"{'OK' if model.shared_memory_gates == 2700 else 'FAILED'}")
+
+    ok = functional and abs(r - 7.2) / 7.2 < 0.15 and abs(w - 0.70) / 0.70 < 0.15
+    print()
+    print("self-check:", "PASS" if ok else "FAIL")
+    print("next: pytest tests/  |  pytest benchmarks/ --benchmark-only -s")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(self_check())

@@ -1,0 +1,28 @@
+"""Measurement harness and result presentation.
+
+- :mod:`repro.analysis.measure` — latency/throughput probes that run
+  operation loops on a cluster and collect
+  :class:`~repro.sim.Accumulator` statistics (the simulated analogue
+  of the paper's "10000 operations" methodology, §3.2).
+- :mod:`repro.analysis.tables` — plain-text table rendering for the
+  benchmark harness, including paper-vs-measured comparison rows.
+"""
+
+from repro.analysis.measure import (
+    measure_op_stream,
+    measure_single_ops,
+    run_to_completion,
+    us,
+)
+from repro.analysis.report import ClusterReport
+from repro.analysis.tables import Table, comparison_table
+
+__all__ = [
+    "ClusterReport",
+    "Table",
+    "comparison_table",
+    "measure_op_stream",
+    "measure_single_ops",
+    "run_to_completion",
+    "us",
+]

@@ -1,0 +1,118 @@
+"""Cluster-wide statistics reports.
+
+§2.2.6 positions the page access counters as input for "profiling,
+performance monitoring and visualization tools"; this module is that
+tooling layer: one call renders what every HIB, coherence engine,
+switch, and link did during a run — the observability a downstream
+user needs to understand an experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table
+
+
+class ClusterReport:
+    """Snapshot + renderer of a cluster's counters."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    # -- sections -------------------------------------------------------
+
+    def node_table(self) -> Table:
+        table = Table(
+            ["node", "remote writes", "remote reads", "atomics", "copies",
+             "multicasts", "pkts served", "outstanding"],
+            title="HIB activity",
+        )
+        for station in self.cluster.nodes:
+            stats = station.hib.stats
+            table.add_row(
+                station.node_id,
+                stats["remote_writes"],
+                stats["remote_reads"],
+                stats["atomics"],
+                stats["copies"],
+                stats["multicast_updates"],
+                stats["packets_served"],
+                station.hib.outstanding.count,
+            )
+        return table
+
+    def engine_table(self) -> Table:
+        table = Table(
+            ["node", "protocol", "local stores", "updates sent",
+             "received", "ignored", "cache peak", "stalls"],
+            title="Coherence engines",
+        )
+        for node_id, engine in sorted(self.cluster.engines.items()):
+            cache = getattr(engine, "counters", None)
+            table.add_row(
+                node_id,
+                engine.protocol_name,
+                engine.stats["local_stores"],
+                engine.stats["updates_sent"],
+                engine.stats["updates_received"],
+                engine.stats["updates_ignored"],
+                cache.max_used if cache else "-",
+                cache.stalls if cache else "-",
+            )
+        return table
+
+    def hot_pages_table(self, top: int = 5) -> Table:
+        table = Table(
+            ["node", "remote page (home, #)", "accesses"],
+            title=f"Hottest remote pages (top {top} per node)",
+        )
+        for station in self.cluster.nodes:
+            for key, count in station.hib.page_counters.hottest_pages(top):
+                table.add_row(station.node_id, key, count)
+        return table
+
+    def link_table(self, top: int = 8) -> Table:
+        table = Table(
+            ["link", "packets", "bytes", "busy (us)"],
+            title=f"Busiest links (top {top})",
+        )
+        stats = self.cluster.fabric.link_stats()
+        ranked = sorted(stats.items(), key=lambda kv: -kv[1]["busy_ns"])
+        for name, s in ranked[:top]:
+            if s["packets"] == 0:
+                continue
+            table.add_row(name, s["packets"], s["bytes"],
+                          s["busy_ns"] / 1000.0)
+        return table
+
+    def switch_table(self) -> Table:
+        table = Table(
+            ["switch", "plane", "packets routed", "peak buffer"],
+            title="Switches",
+        )
+        for vc, plane in sorted(self.cluster.fabric.switches.items()):
+            for switch_id, switch in sorted(plane.items(), key=lambda kv: repr(kv[0])):
+                table.add_row(str(switch_id), vc, switch.packets_routed,
+                              switch.peak_buffer_use)
+        return table
+
+    # -- whole report -----------------------------------------------------
+
+    def sections(self) -> List[Table]:
+        return [
+            self.node_table(),
+            self.engine_table(),
+            self.hot_pages_table(),
+            self.link_table(),
+            self.switch_table(),
+        ]
+
+    def render(self) -> str:
+        header = (
+            f"Cluster report @ t={self.cluster.now / 1000.0:.1f} us  "
+            f"({len(self.cluster)} nodes, protocol "
+            f"{self.cluster.protocol!r})"
+        )
+        body = "\n\n".join(section.render() for section in self.sections())
+        return f"{header}\n\n{body}"

@@ -1,0 +1,53 @@
+"""The user-level programming interface.
+
+This is the layer a Telegraphos application developer sees:
+
+- :class:`~repro.api.cluster.Cluster` — build a whole cluster (nodes,
+  fabric, OS instances, coherence engines) in one call.
+- :class:`~repro.api.cluster.Workstation` — one assembled node.
+- :class:`~repro.api.shmem.Segment` / :class:`~repro.api.shmem.Proc`
+  — shared-memory segments and user processes; a process maps
+  segments (remote window or local replica), and its op builders
+  (``load``/``store``/``fetch_and_add``/``remote_copy``/...) expand to
+  exactly the instruction sequences of §2.2.
+- :mod:`repro.api.sync` — spin locks, barriers, and flags built on the
+  remote atomics, each embedding the §2.3.5 FENCE.
+- :mod:`repro.api.msg` — message-passing channels built on remote
+  writes ("applications that want to send small messages can do that
+  very efficiently", §3.2).
+
+Quickstart::
+
+    from repro.api import Cluster
+
+    cluster = Cluster(n_nodes=2)
+    seg = cluster.alloc_segment(home=1, pages=1, name="data")
+    proc = cluster.create_process(node=0, name="writer")
+    base = proc.map(seg)
+
+    def program(p):
+        yield p.store(base, 42)        # a sub-microsecond remote write
+        yield p.fence()                # MEMORY_BARRIER
+        value = yield p.load(base)     # a blocking remote read
+        assert value == 42
+
+    cluster.start(proc, program)
+    cluster.run()
+"""
+
+from repro.api.cluster import Cluster, Workstation
+from repro.api.msg import BroadcastChannel, Channel
+from repro.api.shmem import Proc, Segment
+from repro.api.sync import Barrier, Flag, SpinLock
+
+__all__ = [
+    "Barrier",
+    "BroadcastChannel",
+    "Channel",
+    "Cluster",
+    "Flag",
+    "Proc",
+    "Segment",
+    "SpinLock",
+    "Workstation",
+]

@@ -1,0 +1,187 @@
+"""Cluster assembly: the composition root.
+
+A :class:`Cluster` builds, for ``n_nodes`` workstations:
+
+- the switch fabric for the chosen topology (§2.1);
+- per node: DRAM, memory bus, TurboChannel, interrupt controller,
+  the HIB with its shared-memory backend (MPM for Telegraphos I, a
+  main-memory segment for Telegraphos II), the CPU, the VM manager,
+  the kernel, and the device driver;
+- the sharing directory and one coherence engine per node for the
+  chosen protocol;
+- optionally, an alarm-based replication policy per node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.coherence import CoherenceChecker, SharingDirectory, make_engine
+from repro.hib import HIB
+from repro.hib.backend import DramBackend, MpmBackend
+from repro.machine import (
+    AddressMap,
+    Bus,
+    CPU,
+    InterruptController,
+    WordMemory,
+)
+from repro.network import Fabric
+from repro.network.topology import by_name
+from repro.os import NodeOS, TelegraphosDriver, VirtualMemoryManager
+from repro.os.replication import AlarmReplicationPolicy
+from repro.params import DEFAULT_PARAMS, Params
+from repro.sim import Simulator, Tracer
+
+
+class Workstation:
+    """One fully assembled node."""
+
+    def __init__(self, sim: Simulator, params: Params, node_id: int,
+                 amap: AddressMap, fabric: Fabric, tracer: Tracer,
+                 dram_bytes: int):
+        timing = params.timing
+        self.node_id = node_id
+        self.amap = amap
+        self.dram = WordMemory(dram_bytes, name=f"dram{node_id}")
+        self.membus = Bus(sim, f"membus{node_id}", timing.membus_arb_ns)
+        self.tc_bus = Bus(sim, f"tc{node_id}", 0)
+        self.interrupts = InterruptController(sim, timing, node_id)
+        if params.prototype == 1:
+            self.backend = MpmBackend(timing, params.sizing.mpm_bytes, node_id)
+        else:
+            # Telegraphos II: shared data in a reserved main-memory
+            # segment, HIB access via the memory bus.
+            shared_bytes = min(params.sizing.mpm_bytes, dram_bytes // 2)
+            self.backend = DramBackend(
+                timing, self.dram, self.membus,
+                base_offset=dram_bytes - shared_bytes,
+                size_bytes=shared_bytes,
+            )
+        self.hib = HIB(
+            sim, params, node_id, amap, fabric.port(node_id), self.tc_bus,
+            self.backend, interrupts=self.interrupts, tracer=tracer,
+        )
+        self.cpu = CPU(sim, params, node_id, amap, self.dram, self.membus,
+                       self.hib)
+        mpm_pages = params.sizing.mpm_bytes // params.sizing.page_bytes
+        self.vm = VirtualMemoryManager(amap, node_id, mpm_pages)
+        self.os = NodeOS(node_id, params, self.cpu, self.interrupts, self.hib)
+        self.driver = TelegraphosDriver(node_id, self.hib, self.vm, amap, params)
+        self.replication: Optional[AlarmReplicationPolicy] = None
+
+
+class Cluster:
+    """A Telegraphos workstation cluster."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        protocol: str = "none",
+        topology: str = "star",
+        params: Optional[Params] = None,
+        trace: bool = True,
+        cache_entries: Optional[int] = 32,
+        dram_bytes: int = 1 << 22,
+        replication_threshold: Optional[int] = None,
+    ):
+        if n_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.params = params or DEFAULT_PARAMS
+        self.protocol = protocol
+        self.sim = Simulator()
+        self.amap = AddressMap(page_bytes=self.params.sizing.page_bytes)
+        self.tracer = Tracer(clock=lambda: self.sim.now, enabled=trace)
+        self.fabric = Fabric(self.sim, self.params, by_name(topology, n_nodes))
+        self.directory = SharingDirectory(self.params.sizing.page_bytes)
+        self.nodes: List[Workstation] = [
+            Workstation(self.sim, self.params, n, self.amap, self.fabric,
+                        self.tracer, dram_bytes)
+            for n in range(n_nodes)
+        ]
+        self.engines = {}
+        for node in self.nodes:
+            engine = make_engine(
+                protocol, node.node_id, self.directory, tracer=self.tracer,
+                cache_entries=cache_entries,
+                rmw_ns=self.params.timing.counter_cache_rmw_ns,
+            )
+            node.hib.coherence = engine
+            self.engines[node.node_id] = engine
+        if replication_threshold is not None:
+            backends = {n.node_id: n.backend for n in self.nodes}
+            for node in self.nodes:
+                node.replication = AlarmReplicationPolicy(
+                    node.os, node.vm, self.directory, self.params,
+                    remote_backends=backends,
+                    threshold=replication_threshold,
+                )
+        self._segments: Dict[str, "Segment"] = {}
+
+    # -- topology access ---------------------------------------------------
+
+    def node(self, node_id: int) -> Workstation:
+        return self.nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- segments and processes ------------------------------------------------
+
+    def alloc_segment(self, home: int, pages: int, name: str) -> "Segment":
+        """Allocate a shared segment in ``home``'s shared memory."""
+        from repro.api.shmem import Segment
+
+        if name in self._segments:
+            raise ValueError(f"segment {name!r} already exists")
+        gpage = self.node(home).vm.alloc_backend_pages(pages)
+        segment = Segment(self, name, home, gpage, pages)
+        self._segments[name] = segment
+        return segment
+
+    def segment(self, name: str) -> "Segment":
+        return self._segments[name]
+
+    def create_process(self, node: int, name: str) -> "Proc":
+        from repro.api.shmem import Proc
+
+        return Proc(self, node, name)
+
+    def start(self, proc: "Proc", body_fn):
+        """Start ``body_fn(proc)`` as a program on the process's CPU."""
+        return proc.start(body_fn)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> None:
+        self.sim.run(until=until)
+
+    def run_programs(self, contexts, limit_ns: Optional[int] = None,
+                     drain_ns: int = 20_000_000) -> None:
+        """Run until all program contexts complete, then drain
+        in-flight traffic (bounded so perpetual background processes —
+        schedulers, pollers — cannot hold the simulation open)."""
+        self.sim.run_until_done(
+            [c.process for c in contexts], limit_ns=limit_ns or 10**12
+        )
+        self.sim.run(until=self.sim.now + drain_ns)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    # -- verification helpers ------------------------------------------------------
+
+    def checker(self) -> CoherenceChecker:
+        return CoherenceChecker(self.tracer, self.directory)
+
+    def backends(self) -> Dict[int, object]:
+        return {n.node_id: n.backend for n in self.nodes}
+
+    def assert_quiescent(self) -> None:
+        for node in self.nodes:
+            if node.hib.outstanding.count:
+                raise AssertionError(
+                    f"node {node.node_id} still has "
+                    f"{node.hib.outstanding.count} outstanding ops"
+                )

@@ -1,0 +1,310 @@
+"""Message passing over remote writes (§3.2) and over the hardware
+multicast (§2.2.7).
+
+"Applications that want to send small messages can do that very
+efficiently" — a :class:`Channel` message is a burst of remote writes
+into a ring buffer homed at the receiver, followed by a FENCE and a
+sequence-word write (the safe §2.3.5 pattern).  The receiver polls its
+*local* memory, so receive-side polling is cheap.
+
+Flow control: the receiver remote-writes a consumed counter into a
+word homed at the *sender*, which the sender polls locally before
+reusing a slot — back-pressure with no OS involvement on either side.
+
+:class:`BroadcastChannel` is the one-to-many variant the eager-update
+multicast exists for: "This mechanism can be used both in message
+passing and in shared-memory programming paradigms" (§2.2.7).  The
+sender writes into its *own* shared page, which the HIB's multicast
+table maps out to one page per receiver; a single local write fans out
+to every receiver in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.api.shmem import Proc, Segment
+
+
+class Channel:
+    """A one-way channel from ``sender`` to ``receiver``.
+
+    Layout: the *data segment* (homed at the receiver) holds
+    ``capacity`` slots of ``slot_words`` words each: word 0 is the
+    sequence stamp, word 1 the payload length, the rest payload.  The
+    *credit segment* (homed at the sender) holds the consumed counter.
+    """
+
+    SEQ = 0
+    LEN = 4
+    PAYLOAD = 8
+
+    def __init__(self, cluster, sender_node: int, receiver_node: int,
+                 name: str, capacity: int = 16, slot_words: int = 16,
+                 poll_ns: int = 2000):
+        if capacity < 1 or slot_words < 3:
+            raise ValueError("capacity >= 1 and slot_words >= 3 required")
+        self.cluster = cluster
+        self.capacity = capacity
+        self.slot_words = slot_words
+        self.poll_ns = poll_ns
+        slot_bytes = slot_words * 4
+        pages = (capacity * slot_bytes + cluster.amap.page_bytes - 1) \
+            // cluster.amap.page_bytes
+        self.data_seg = cluster.alloc_segment(
+            receiver_node, pages, f"{name}.data"
+        )
+        self.credit_seg = cluster.alloc_segment(sender_node, 1, f"{name}.credit")
+        self.sender = ChannelSender(self, sender_node)
+        self.receiver = ChannelReceiver(self, receiver_node)
+
+    def slot_offset(self, index: int) -> int:
+        return (index % self.capacity) * self.slot_words * 4
+
+    @property
+    def max_payload_words(self) -> int:
+        return self.slot_words - 2
+
+
+class ChannelSender:
+    """Sender endpoint; bind to a process with :meth:`bind`."""
+
+    def __init__(self, channel: Channel, node_id: int):
+        self.channel = channel
+        self.node_id = node_id
+        self.proc: Optional[Proc] = None
+        self._data_base = 0
+        self._credit_base = 0
+        self._sent = 0
+        self.messages_sent = 0
+
+    def bind(self, proc: Proc) -> None:
+        if proc.node_id != self.node_id:
+            raise ValueError("sender process must run on the sender node")
+        self.proc = proc
+        self._data_base = proc.map(self.channel.data_seg)      # remote window
+        self._credit_base = proc.map(self.channel.credit_seg)  # local backend
+
+    def send(self, payload: List[int]):
+        """Generator: write one message (blocks while the ring is full)."""
+        channel = self.channel
+        proc = self.proc
+        if proc is None:
+            raise RuntimeError("sender not bound to a process")
+        if len(payload) > channel.max_payload_words:
+            raise ValueError(
+                f"payload of {len(payload)} words exceeds slot capacity "
+                f"{channel.max_payload_words}"
+            )
+        # Flow control: wait for a free slot (poll the local credit).
+        while True:
+            consumed = yield proc.load(self._credit_base)
+            if self._sent - consumed < channel.capacity:
+                break
+            yield proc.think(channel.poll_ns)
+        slot = self._data_base + channel.slot_offset(self._sent)
+        for i, word in enumerate(payload):
+            yield proc.store(slot + Channel.PAYLOAD + 4 * i, word)
+        yield proc.store(slot + Channel.LEN, len(payload))
+        # The safe flag pattern: data completes before the stamp.
+        yield proc.fence()
+        yield proc.store(slot + Channel.SEQ, self._sent + 1)
+        self._sent += 1
+        self.messages_sent += 1
+
+
+class ChannelReceiver:
+    """Receiver endpoint; bind to a process with :meth:`bind`."""
+
+    def __init__(self, channel: Channel, node_id: int):
+        self.channel = channel
+        self.node_id = node_id
+        self.proc: Optional[Proc] = None
+        self._data_base = 0
+        self._credit_base = 0
+        self._received = 0
+        self.messages_received = 0
+
+    def bind(self, proc: Proc) -> None:
+        if proc.node_id != self.node_id:
+            raise ValueError("receiver process must run on the receiver node")
+        self.proc = proc
+        self._data_base = proc.map(self.channel.data_seg)      # local backend
+        self._credit_base = proc.map(self.channel.credit_seg)  # remote window
+
+    def recv(self):
+        """Generator: receive the next message; returns its payload."""
+        channel = self.channel
+        proc = self.proc
+        if proc is None:
+            raise RuntimeError("receiver not bound to a process")
+        slot = self._data_base + channel.slot_offset(self._received)
+        expected = self._received + 1
+        while True:
+            stamp = yield proc.load(slot + Channel.SEQ)
+            if stamp == expected:
+                break
+            yield proc.think(channel.poll_ns)
+        length = yield proc.load(slot + Channel.LEN)
+        payload = []
+        for i in range(length):
+            payload.append((yield proc.load(slot + Channel.PAYLOAD + 4 * i)))
+        self._received += 1
+        self.messages_received += 1
+        # Return the credit with a single remote write.
+        yield proc.store(self._credit_base, self._received)
+        return payload
+
+
+class BroadcastChannel:
+    """One sender, many receivers, over the hardware multicast.
+
+    The ring buffer lives in a page *homed at the sender*; the driver
+    maps that page out (§2.2.7) to one page per receiver, so each of
+    the sender's local writes is transparently delivered to every
+    receiver's copy.  Receivers poll their local pages.  Flow control:
+    each receiver remote-writes its consumed count into its own credit
+    word homed at the sender; the sender waits for the *slowest*
+    receiver before reusing a slot.
+    """
+
+    SEQ = 0
+    LEN = 4
+    PAYLOAD = 8
+
+    def __init__(self, cluster, sender_node: int, receiver_nodes,
+                 name: str, capacity: int = 8, slot_words: int = 16,
+                 poll_ns: int = 2000):
+        if capacity < 1 or slot_words < 3:
+            raise ValueError("capacity >= 1 and slot_words >= 3 required")
+        if not receiver_nodes:
+            raise ValueError("need at least one receiver")
+        if sender_node in receiver_nodes:
+            raise ValueError("the sender cannot also be a receiver")
+        self.cluster = cluster
+        self.capacity = capacity
+        self.slot_words = slot_words
+        self.poll_ns = poll_ns
+        self.sender_node = sender_node
+        self.receiver_nodes = list(receiver_nodes)
+        page_bytes = cluster.amap.page_bytes
+        if capacity * slot_words * 4 > page_bytes:
+            raise ValueError("ring does not fit in one page")
+
+        # The sender-homed ring page, and one landing page + credit
+        # word per receiver.
+        self.ring_seg = cluster.alloc_segment(sender_node, 1, f"{name}.ring")
+        self.credit_seg = cluster.alloc_segment(
+            sender_node, 1, f"{name}.credits"
+        )
+        self.landing = {}
+        sender_station = cluster.node(sender_node)
+        for node in self.receiver_nodes:
+            seg = cluster.alloc_segment(node, 1, f"{name}.land{node}")
+            self.landing[node] = seg
+            # Program the hardware multicast table (§2.2.7).
+            sender_station.driver.map_multicast(
+                local_page=self.ring_seg.gpage, node=node,
+                remote_page=seg.gpage,
+            )
+        self.sender = BroadcastSender(self)
+        self.receivers = {
+            node: BroadcastReceiver(self, node) for node in self.receiver_nodes
+        }
+
+    def slot_offset(self, index: int) -> int:
+        return (index % self.capacity) * self.slot_words * 4
+
+    @property
+    def max_payload_words(self) -> int:
+        return self.slot_words - 2
+
+
+class BroadcastSender:
+    def __init__(self, channel: BroadcastChannel):
+        self.channel = channel
+        self.proc: Optional[Proc] = None
+        self._ring_base = 0
+        self._credit_base = 0
+        self._sent = 0
+        self.messages_sent = 0
+
+    def bind(self, proc: Proc) -> None:
+        if proc.node_id != self.channel.sender_node:
+            raise ValueError("sender process must run on the sender node")
+        self.proc = proc
+        self._ring_base = proc.map(self.channel.ring_seg)      # local page
+        self._credit_base = proc.map(self.channel.credit_seg)  # local page
+
+    def send(self, payload: List[int]):
+        """Generator: one message to every receiver, via local writes
+        that the multicast table fans out."""
+        channel = self.channel
+        proc = self.proc
+        if proc is None:
+            raise RuntimeError("sender not bound to a process")
+        if len(payload) > channel.max_payload_words:
+            raise ValueError("payload exceeds slot capacity")
+        # Wait for the slowest receiver to free the slot.
+        while True:
+            slowest = None
+            for i, _node in enumerate(channel.receiver_nodes):
+                consumed = yield proc.load(self._credit_base + 4 * i)
+                slowest = consumed if slowest is None else min(slowest, consumed)
+            if self._sent - slowest < channel.capacity:
+                break
+            yield proc.think(channel.poll_ns)
+        slot = self._ring_base + channel.slot_offset(self._sent)
+        for i, word in enumerate(payload):
+            yield proc.store(slot + BroadcastChannel.PAYLOAD + 4 * i, word)
+        yield proc.store(slot + BroadcastChannel.LEN, len(payload))
+        # Data before stamp (§2.3.5): the fence covers the multicast
+        # copies of the payload words.
+        yield proc.fence()
+        yield proc.store(slot + BroadcastChannel.SEQ, self._sent + 1)
+        self._sent += 1
+        self.messages_sent += 1
+
+
+class BroadcastReceiver:
+    def __init__(self, channel: BroadcastChannel, node_id: int):
+        self.channel = channel
+        self.node_id = node_id
+        self.proc: Optional[Proc] = None
+        self._landing_base = 0
+        self._credit_vaddr = 0
+        self._received = 0
+        self.messages_received = 0
+
+    def bind(self, proc: Proc) -> None:
+        if proc.node_id != self.node_id:
+            raise ValueError("receiver process must run on its node")
+        self.proc = proc
+        self._landing_base = proc.map(self.channel.landing[self.node_id])
+        credit_base = proc.map(self.channel.credit_seg)  # remote window
+        index = self.channel.receiver_nodes.index(self.node_id)
+        self._credit_vaddr = credit_base + 4 * index
+
+    def recv(self):
+        """Generator: next broadcast message; returns its payload."""
+        channel = self.channel
+        proc = self.proc
+        if proc is None:
+            raise RuntimeError("receiver not bound to a process")
+        slot = self._landing_base + channel.slot_offset(self._received)
+        expected = self._received + 1
+        while True:
+            stamp = yield proc.load(slot + BroadcastChannel.SEQ)
+            if stamp == expected:
+                break
+            yield proc.think(channel.poll_ns)
+        length = yield proc.load(slot + BroadcastChannel.LEN)
+        payload = []
+        for i in range(length):
+            payload.append(
+                (yield proc.load(slot + BroadcastChannel.PAYLOAD + 4 * i))
+            )
+        self._received += 1
+        self.messages_received += 1
+        yield proc.store(self._credit_vaddr, self._received)
+        return payload

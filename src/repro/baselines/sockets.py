@@ -1,0 +1,106 @@
+"""OS-mediated message passing — the PVM/P4-over-sockets baseline.
+
+§1: "Message passing systems like PVM and P4 are usually implemented
+on top of Unix sockets which require the intervention of the operating
+system for each message transfer."
+
+Per message: a user→kernel trap and a kernel buffer copy on each side,
+protocol-stack processing, and the wire time — the canonical mid-90s
+cost structure.  Contrast with a Telegraphos small message: a handful
+of sub-microsecond remote writes, zero OS involvement.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.params import Params
+from repro.sim import BoundedQueue, Simulator
+
+
+class Socket:
+    """One node's socket endpoint."""
+
+    def __init__(self, network: "SocketNetwork", node_id: int):
+        self.network = network
+        self.node_id = node_id
+        self._inbox: Dict[object, BoundedQueue] = defaultdict(
+            lambda: BoundedQueue(1024, name=f"sock{node_id}")
+        )
+        self.sent = 0
+        self.received = 0
+
+    def send(self, dst: int, payload: List[int], tag: object = None):
+        """Generator: transmit a message of 4-byte words."""
+        network = self.network
+        n_bytes = 4 * len(payload)
+        # Sender side: trap + kernel copy + stack processing.
+        yield network.trap_ns
+        yield network.copy_cost_ns(n_bytes)
+        yield network.stack_ns
+        self.sent += 1
+        # Wire time + delivery at the far end (interrupt + copy happen
+        # in the receiver's kernel; charged before the message becomes
+        # visible to the receiving process).
+        deliver_after = (
+            network.wire_ns(n_bytes)
+            + network.interrupt_ns
+            + network.copy_cost_ns(n_bytes)
+        )
+        network.sim.schedule(
+            deliver_after, network.socket(dst)._deliver, tag, list(payload)
+        )
+
+    def _deliver(self, tag: object, payload: List[int]) -> None:
+        self._inbox[tag].try_put(payload)
+
+    def recv(self, tag: object = None):
+        """Generator: block for the next message, pay the receive trap."""
+        payload = yield self._inbox[tag].get()
+        yield self.network.trap_ns
+        self.received += 1
+        return payload
+
+
+class SocketNetwork:
+    """A cluster-wide socket substrate (plain Ethernet-era costs)."""
+
+    def __init__(self, sim: Simulator, params: Params, n_nodes: int):
+        self.sim = sim
+        self.params = params
+        timing = params.timing
+        #: System-call overhead per send/recv.
+        self.trap_ns = timing.os_trap_ns
+        #: Protocol-stack processing per message.
+        self.stack_ns = timing.os_trap_ns // 2
+        #: Interrupt dispatch at the receiver.
+        self.interrupt_ns = timing.os_interrupt_ns
+        #: Kernel buffer copy rate: ~100 MB/s memcpy through the
+        #: kernel (documented order of magnitude for the era).
+        self.copy_ns_per_byte = 10
+        self._sockets = [Socket(self, n) for n in range(n_nodes)]
+
+    def socket(self, node_id: int) -> Socket:
+        return self._sockets[node_id]
+
+    def copy_cost_ns(self, n_bytes: int) -> int:
+        return self.copy_ns_per_byte * n_bytes
+
+    def wire_ns(self, n_bytes: int) -> int:
+        """Wire time at the same link bandwidth as Telegraphos (fair
+        comparison: the wires are equal, the software is not)."""
+        framed = n_bytes + 60  # Ethernet/IP/UDP framing
+        return self.params.timing.serialization_ns(framed)
+
+    def one_way_cost_ns(self, n_bytes: int) -> int:
+        """Analytic per-message cost (send side + wire + receive side)."""
+        return (
+            self.trap_ns
+            + self.copy_cost_ns(n_bytes)
+            + self.stack_ns
+            + self.wire_ns(n_bytes)
+            + self.interrupt_ns
+            + self.copy_cost_ns(n_bytes)
+            + self.trap_ns
+        )

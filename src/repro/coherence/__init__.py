@@ -1,0 +1,55 @@
+"""Update-based coherent memory (§2.3) and its baselines.
+
+The paper builds up the protocol in stages, and each stage is a
+pluggable engine here so every experiment can demonstrate exactly the
+failure the next stage fixes:
+
+- :class:`~repro.coherence.eager.EagerUpdateEngine` — plain eager
+  multicast with no ownership.  Multiple writers diverge (Figure 2).
+- :class:`~repro.coherence.owner.OwnerUpdateEngine` with
+  ``apply_local=False`` — all updates serialized through the page's
+  owner, local copy updated only by the reflected write.  Consistent,
+  but a processor can read *stale* data right after its own write
+  (§2.3.2 problem 1).
+- :class:`~repro.coherence.owner.OwnerUpdateEngine` with
+  ``apply_local=True`` — also applies writes locally at once.  Fixes
+  read-own-write staleness but reintroduces reordering: the reflected
+  older value can overwrite a newer local write (§2.3.2 problem 2).
+- :class:`~repro.coherence.counter_protocol.CounterProtocolEngine` —
+  the paper's novel solution (§2.3.3): pending-write counters make
+  each node ignore exactly the window of reflected writes that are
+  older than its own outstanding write.  With a finite
+  :class:`~repro.coherence.counter_cache.CounterCache` this is the
+  §2.3.4 design (16–32 CAM entries; processor stalls on overflow).
+- :class:`~repro.coherence.galactica.GalacticaEngine` — the ring-based
+  update protocol of Galactica Net [15], reproduced as the §2.4
+  comparison: it converges, but an observer can see the invalid
+  sequence "1,2,1".
+
+:class:`~repro.coherence.checker.CoherenceChecker` validates runs
+mechanically: per-location, every node's sequence of applied values
+must be a subsequence of the owner's serialization order, and all
+copies must converge at quiescence.
+"""
+
+from repro.coherence.checker import CoherenceChecker
+from repro.coherence.counter_cache import CounterCache
+from repro.coherence.counter_protocol import CounterProtocolEngine
+from repro.coherence.directory import PageGroup, SharingDirectory
+from repro.coherence.eager import EagerUpdateEngine
+from repro.coherence.factory import PROTOCOLS, make_engine
+from repro.coherence.galactica import GalacticaEngine
+from repro.coherence.owner import OwnerUpdateEngine
+
+__all__ = [
+    "CoherenceChecker",
+    "CounterCache",
+    "CounterProtocolEngine",
+    "EagerUpdateEngine",
+    "GalacticaEngine",
+    "OwnerUpdateEngine",
+    "PROTOCOLS",
+    "PageGroup",
+    "SharingDirectory",
+    "make_engine",
+]

@@ -1,0 +1,109 @@
+"""Sharing directory: which nodes hold copies of which shared pages.
+
+§2.3.1: "only the owner of a page needs to hold and maintain the full
+list of all processors that have copies of the page.  This
+significantly reduces the OS overhead when pages are copied, and also
+economizes space in the Telegraphos directories."
+
+A :class:`PageGroup` is one shared page: its home/owner node (the node
+whose shared window physically backs it — the paper's owner) plus the
+replicas on other nodes, each at some local backend page.  The
+:class:`SharingDirectory` indexes groups both by global identity
+``(home, gpage)`` and by local placement ``(node, local_page)``.
+
+The directory object is shared by the per-node engines for
+convenience; protocol *decisions* only ever use the fields the
+deciding node legitimately holds (the owner reads the sharer list, a
+replica holder reads its own placement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class PageGroup:
+    """One shared page and all its copies."""
+
+    def __init__(self, home: int, gpage: int, page_bytes: int):
+        self.home = home
+        self.gpage = gpage
+        self.page_bytes = page_bytes
+        #: node -> local backend page holding that node's copy.  The
+        #: home's copy is the page itself.
+        self.placement: Dict[int, int] = {home: gpage}
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.home, self.gpage)
+
+    @property
+    def sharers(self) -> List[int]:
+        """Copy holders other than the home (the owner's directory
+        entry, Table 1's 'directory SRAM')."""
+        return sorted(n for n in self.placement if n != self.home)
+
+    @property
+    def copy_holders(self) -> List[int]:
+        return sorted(self.placement)
+
+    def local_offset(self, node: int, in_page: int) -> int:
+        """Backend byte offset of this page's copy at ``node``."""
+        if not 0 <= in_page < self.page_bytes:
+            raise ValueError(f"in-page offset 0x{in_page:x} out of range")
+        return self.placement[node] * self.page_bytes + in_page
+
+    def home_offset(self, in_page: int) -> int:
+        return self.local_offset(self.home, in_page)
+
+    def holds_copy(self, node: int) -> bool:
+        return node in self.placement
+
+
+class SharingDirectory:
+    """All page groups of one cluster run."""
+
+    def __init__(self, page_bytes: int):
+        self.page_bytes = page_bytes
+        self._groups: Dict[Tuple[int, int], PageGroup] = {}
+        self._by_local: Dict[Tuple[int, int], PageGroup] = {}
+
+    def create_group(self, home: int, gpage: int) -> PageGroup:
+        key = (home, gpage)
+        if key in self._groups:
+            raise ValueError(f"page group {key} already exists")
+        group = PageGroup(home, gpage, self.page_bytes)
+        self._groups[key] = group
+        self._by_local[(home, gpage)] = group
+        return group
+
+    def add_replica(self, group: PageGroup, node: int, local_page: int) -> None:
+        """Place a copy of ``group`` at ``node``'s ``local_page``."""
+        if group.holds_copy(node):
+            raise ValueError(f"node {node} already holds a copy of {group.key}")
+        placement_key = (node, local_page)
+        if placement_key in self._by_local:
+            raise ValueError(
+                f"node {node} local page {local_page} already backs a shared page"
+            )
+        group.placement[node] = local_page
+        self._by_local[placement_key] = group
+
+    def drop_replica(self, group: PageGroup, node: int) -> None:
+        if node == group.home:
+            raise ValueError("cannot drop the home copy")
+        local_page = group.placement.pop(node, None)
+        if local_page is not None:
+            del self._by_local[(node, local_page)]
+
+    # -- lookups ----------------------------------------------------------
+
+    def group(self, home: int, gpage: int) -> Optional[PageGroup]:
+        return self._groups.get((home, gpage))
+
+    def group_at(self, node: int, local_page: int) -> Optional[PageGroup]:
+        """The group whose copy lives at (node, local_page), if any."""
+        return self._by_local.get((node, local_page))
+
+    def groups(self) -> List[PageGroup]:
+        return [self._groups[k] for k in sorted(self._groups)]

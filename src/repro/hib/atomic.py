@@ -1,0 +1,53 @@
+"""The remote-atomic-operation unit (§2.2.3).
+
+"To provide efficient synchronization of parallel applications,
+Telegraphos implements the fetch-and-store, fetch-and-inc, and
+compare-and-swap remote atomic operations."
+
+Atomics always execute at the *home* node's HIB, on the home copy of
+the word.  Atomicity comes for free from the HIB service loop: one
+read-modify-write completes before the next packet is serviced — the
+hardware equivalent is the dedicated atomic FSM in Table 1
+("Atomic operations: 1500 gates").
+
+``fetch_and_add`` generalises fetch-and-inc (the paper's examples use
+increment; the generalisation is the standard one and inc is the
+``delta=1`` case).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class AtomicOp(enum.Enum):
+    FETCH_AND_STORE = "fetch_and_store"
+    FETCH_AND_ADD = "fetch_and_add"
+    COMPARE_AND_SWAP = "compare_and_swap"
+
+
+def apply_atomic(
+    op: AtomicOp, old_value: int, operand0: int, operand1: int = 0
+) -> Tuple[int, int]:
+    """Pure atomic ALU: returns ``(result, new_value)``.
+
+    - FETCH_AND_STORE: result = old, new = operand0.
+    - FETCH_AND_ADD:   result = old, new = old + operand0.
+    - COMPARE_AND_SWAP: result = old; new = operand1 if old == operand0
+      else old.
+    """
+    if op is AtomicOp.FETCH_AND_STORE:
+        return old_value, operand0
+    if op is AtomicOp.FETCH_AND_ADD:
+        return old_value, old_value + operand0
+    if op is AtomicOp.COMPARE_AND_SWAP:
+        if old_value == operand0:
+            return old_value, operand1
+        return old_value, old_value
+    raise ValueError(f"unknown atomic op {op!r}")
+
+
+def operand_count(op: AtomicOp) -> int:
+    """How many operands the launch sequence must supply."""
+    return 2 if op is AtomicOp.COMPARE_AND_SWAP else 1

@@ -1,0 +1,631 @@
+"""The HIB core engine.
+
+Two faces, exactly as in the hardware:
+
+**TurboChannel slave** (:meth:`HIB.tc_store`, :meth:`HIB.tc_load`,
+:meth:`HIB.tc_fence`) — invoked from the CPU's execution process.  The
+HIB decodes the physical address (remote window / HIB register /
+shadow / MPM) and turns the access into a packet, a register action,
+or a local shared-memory access.  §2.2.1's asymmetry is structural
+here: ``tc_store`` to a remote window completes once the packet is in
+the outgoing FIFO; ``tc_load`` blocks on a reply future.
+
+**Network servant** (the service loop) — drains the incoming FIFO and
+serves write/read/atomic/copy requests against the local shared-memory
+backend, plus completion packets (read replies, atomic replies, write
+acks) and coherence-protocol packets, which are delegated to the
+attached coherence engine.
+
+The coherence engine (see :mod:`repro.coherence`) is a pluggable
+strategy; a bare HIB (``coherence=None``) gives exactly the paper's
+base mechanisms: remote read/write/copy/atomics, page-access counters,
+raw eager-update multicast, outstanding-op counters, FENCE.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.hib.atomic import apply_atomic
+from repro.hib.multicast import MulticastTable
+from repro.hib.outstanding import OutstandingOps
+from repro.hib.page_counters import PageAccessCounters
+from repro.hib.registers import Reg
+from repro.hib.special import (
+    LaunchError,
+    SpecialModeTg1,
+    SpecialOpcode,
+    TelegraphosContext,
+)
+from repro.machine.addresses import AddressMap, Region
+from repro.machine.bus import Bus
+from repro.machine.interrupts import InterruptController
+from repro.network.fabric import NetworkPort
+from repro.network.packet import Packet, PacketKind
+from repro.params import Params
+from repro.sim import BoundedQueue, Future, Simulator, Tracer
+
+
+class HIB:
+    """One node's Host Interface Board."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Params,
+        node_id: int,
+        amap: AddressMap,
+        port: NetworkPort,
+        tc_bus: Bus,
+        backend: Any,
+        interrupts: Optional[InterruptController] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.amap = amap
+        self.port = port
+        self.tc_bus = tc_bus
+        self.backend = backend
+        self.interrupts = interrupts
+        self.tracer = tracer or Tracer(clock=lambda: sim.now, enabled=False)
+
+        sizing = params.sizing
+        self.outstanding = OutstandingOps(node_id)
+        self.page_counters = PageAccessCounters(
+            counter_bits=sizing.page_counter_bits,
+            max_pages=sizing.counted_pages,
+            alarm=self._counter_alarm,
+        )
+        self.multicast = MulticastTable(sizing.multicast_entries)
+        self.special1 = SpecialModeTg1()
+        self.contexts = [TelegraphosContext(i) for i in range(sizing.contexts)]
+        #: Pluggable coherence engine (repro.coherence); None = bare HIB.
+        self.coherence: Any = None
+
+        self._pending: Dict[int, Future] = {}
+        self._op_ids = itertools.count(1)
+        #: Page selected by the §2.2.6 counter-window registers.
+        self._counter_select = [0, 0]
+        # §2.3.5 footnote: "no more than one outstanding read
+        # operation" — a token pool sized by params.
+        self._read_tokens = BoundedQueue(
+            max(1, sizing.max_outstanding_reads), name=f"hib{node_id}.rdtok"
+        )
+        for _ in range(max(1, sizing.max_outstanding_reads)):
+            self._read_tokens.try_put(object())
+
+        # Statistics.
+        self.stats = {
+            "remote_writes": 0,
+            "remote_reads": 0,
+            "atomics": 0,
+            "copies": 0,
+            "multicast_updates": 0,
+            "packets_served": 0,
+        }
+        self._service = sim.spawn(self._service_loop(), name=f"hib{node_id}.svc")
+        self._replies = sim.spawn(self._reply_loop(), name=f"hib{node_id}.rsp")
+
+    # ------------------------------------------------------------------
+    # TurboChannel slave interface (called from the CPU's process)
+    # ------------------------------------------------------------------
+
+    def tc_store(self, phys: int, value: int):
+        """A processor store that reached the TurboChannel."""
+        timing = self.params.timing
+        yield from self.tc_bus.transact(timing.tc_arb_ns + timing.tc_data_ns)
+        yield timing.tc_sync_ns  # cross into the HIB clock domain
+        decoded = self.amap.decode(phys)
+
+        if decoded.shadow:
+            self._shadow_store(phys, value)
+            return
+        if self.special1.armed and decoded.region in (Region.REMOTE, Region.MPM):
+            # Telegraphos I special mode: the store is *not performed*;
+            # its (TLB-checked) physical address and datum become
+            # arguments (§2.2.4).
+            self.special1.collect(phys, value)
+            return
+        if decoded.region is Region.REMOTE:
+            yield from self._issue_remote_write(decoded.node, decoded.offset, value)
+            return
+        if decoded.region is Region.HIB:
+            yield from self._register_store(decoded.offset, value)
+            return
+        if decoded.region is Region.MPM:
+            yield from self._local_shared_store(decoded.offset, value)
+            return
+        raise RuntimeError(f"HIB saw store to unexpected region {decoded!r}")
+
+    def tc_load(self, phys: int):
+        """A processor load that reached the TurboChannel (blocking)."""
+        timing = self.params.timing
+        yield from self.tc_bus.transact(timing.tc_arb_ns + timing.tc_data_ns)
+        yield timing.tc_sync_ns
+        decoded = self.amap.decode(phys)
+
+        if decoded.region is Region.REMOTE:
+            value = yield from self._blocking_remote_read(
+                decoded.node, decoded.offset
+            )
+        elif decoded.region is Region.HIB:
+            value = yield from self._register_load(decoded.offset)
+        elif decoded.region is Region.MPM:
+            value = yield from self.backend.read(decoded.offset)
+        else:
+            raise RuntimeError(f"HIB saw load from unexpected region {decoded!r}")
+        # Data-return phase on the TurboChannel.  Remote reads pay the
+        # blocked-read completion penalty (retry polling on the real
+        # TC) on top of the data cycle.
+        if decoded.region is Region.REMOTE:
+            yield timing.tc_read_return_ns
+        yield from self.tc_bus.transact(timing.tc_data_ns)
+        return value
+
+    def tc_fence(self):
+        """MEMORY_BARRIER (§2.3.5): stall until quiescent."""
+        yield from self.tc_bus.transact(
+            self.params.timing.tc_arb_ns + self.params.timing.tc_data_ns
+        )
+        yield self.outstanding.fence()
+
+    # ------------------------------------------------------------------
+    # Outgoing operations
+    # ------------------------------------------------------------------
+
+    def _issue_remote_write(self, home: int, offset: int, value: int, ack_to=None):
+        self.stats["remote_writes"] += 1
+        self.page_counters.on_access((home, self.amap.page_of(offset)), "write")
+        self.outstanding.increment()
+        packet = Packet(
+            PacketKind.WRITE_REQ,
+            src=self.node_id,
+            dst=home,
+            size_bytes=self.params.packets.write_request,
+            address=offset,
+            value=value,
+            origin=ack_to if ack_to is not None else self.node_id,
+            injected_at=self.sim.now,
+        )
+        # Blocks while the outgoing FIFO is full — the §3.2 queueing.
+        yield self.port.send(packet)
+
+    def _blocking_remote_read(self, home: int, offset: int):
+        self.stats["remote_reads"] += 1
+        self.page_counters.on_access((home, self.amap.page_of(offset)), "read")
+        token = yield self._read_tokens.get()
+        op_id = next(self._op_ids)
+        future = Future()
+        self._pending[op_id] = future
+        packet = Packet(
+            PacketKind.READ_REQ,
+            src=self.node_id,
+            dst=home,
+            size_bytes=self.params.packets.read_request,
+            address=offset,
+            op_id=op_id,
+            origin=self.node_id,
+            injected_at=self.sim.now,
+        )
+        yield self.port.send(packet)
+        value = yield future
+        yield self._read_tokens.put(token)
+        return value
+
+    def send_update(
+        self,
+        dst: int,
+        home: int,
+        offset: int,
+        value: int,
+        origin: int,
+        meta: Optional[dict] = None,
+    ):
+        """Coherence-engine helper: inject an UPDATE packet."""
+        packet = Packet(
+            PacketKind.UPDATE,
+            src=self.node_id,
+            dst=dst,
+            size_bytes=self.params.packets.update,
+            address=offset,
+            value=value,
+            origin=origin,
+            meta={"home": home, **(meta or {})},
+            injected_at=self.sim.now,
+        )
+        yield self.port.send(packet)
+
+    def send_packet(self, packet: Packet):
+        """Coherence-engine helper: inject an arbitrary packet."""
+        packet.injected_at = self.sim.now
+        yield self.port.send(packet)
+
+    # ------------------------------------------------------------------
+    # Register file
+    # ------------------------------------------------------------------
+
+    def _register_store(self, offset: int, value: int):
+        split = Reg.split_context_offset(offset, self.amap.page_bytes)
+        if split is not None:
+            yield from self._context_store(split[0], split[1], value)
+            return
+        if offset == Reg.SPECIAL_MODE:
+            self.special1.arm(value)
+        elif offset == Reg.SPECIAL_GO:
+            launch = self.special1.take_launch()
+            yield from self._execute_special(*launch, blocking=False)
+        elif offset == Reg.COUNTER_SELECT_NODE:
+            self._counter_select[0] = value
+        elif offset == Reg.COUNTER_SELECT_PAGE:
+            self._counter_select[1] = value
+        elif offset == Reg.COUNTER_READ_CTR:
+            self.page_counters.set_counter(tuple(self._counter_select),
+                                           "read", value)
+        elif offset == Reg.COUNTER_WRITE_CTR:
+            self.page_counters.set_counter(tuple(self._counter_select),
+                                           "write", value)
+        else:
+            raise LaunchError(f"store to read-only/unknown HIB register 0x{offset:x}")
+
+    def _register_load(self, offset: int):
+        split = Reg.split_context_offset(offset, self.amap.page_bytes)
+        if split is not None:
+            value = yield from self._context_load(split[0], split[1])
+            return value
+        if offset == Reg.NODE_ID:
+            yield 0
+            return self.node_id
+        if offset == Reg.OUTSTANDING:
+            yield 0
+            return self.outstanding.count
+        if offset == Reg.FENCE:
+            yield self.outstanding.fence()
+            return 0
+        if offset == Reg.SPECIAL_RESULT:
+            launch = self.special1.take_launch()
+            result = yield from self._execute_special(*launch, blocking=True)
+            return result
+        if offset == Reg.COUNTER_READ_CTR:
+            yield 0
+            return self.page_counters.read_counter(
+                tuple(self._counter_select), "read")
+        if offset == Reg.COUNTER_WRITE_CTR:
+            yield 0
+            return self.page_counters.read_counter(
+                tuple(self._counter_select), "write")
+        if offset == Reg.COUNTER_TOTAL:
+            yield 0
+            return self.page_counters.total_accesses(
+                tuple(self._counter_select))
+        raise LaunchError(f"load of unknown HIB register 0x{offset:x}")
+
+    def _context(self, ctx_id: int) -> TelegraphosContext:
+        if not 0 <= ctx_id < len(self.contexts):
+            raise LaunchError(f"context id {ctx_id} out of range")
+        return self.contexts[ctx_id]
+
+    def _context_store(self, ctx_id: int, reg: int, value: int):
+        context = self._context(ctx_id)
+        if reg == Reg.CTX_GO:
+            launch = context.take_launch()
+            yield from self._execute_special(*launch, blocking=False)
+        else:
+            yield 0
+            context.write_reg(reg, value)
+
+    def _context_load(self, ctx_id: int, reg: int):
+        context = self._context(ctx_id)
+        if reg == Reg.CTX_GO:
+            launch = context.take_launch()
+            result = yield from self._execute_special(*launch, blocking=True)
+            return result
+        yield 0
+        return context.read_reg(reg)
+
+    def _shadow_store(self, phys: int, value: int) -> None:
+        """A store into shadow space (Telegraphos II, §2.2.4/§2.2.5):
+        the *datum* selects the context and carries the key; the
+        *address* (unshadowed) is the physical argument."""
+        ctx_id, key = Reg.split_shadow_argument(value)
+        if not 0 <= ctx_id < len(self.contexts):
+            self._protection_event("shadow store to bad context", ctx_id)
+            return
+        context = self.contexts[ctx_id]
+        if context.key is None or context.key != key:
+            self._protection_event("shadow store with wrong key", ctx_id)
+            return
+        context.latch_address(self.amap.unshadow(phys))
+
+    def _protection_event(self, reason: str, ctx_id: int) -> None:
+        self.tracer.record(
+            "protection", node=self.node_id, reason=reason, ctx=ctx_id
+        )
+        if self.interrupts is not None:
+            self.interrupts.post(
+                "hib_protection", {"reason": reason, "ctx": ctx_id}
+            )
+
+    # ------------------------------------------------------------------
+    # Special operations (atomics + remote copy)
+    # ------------------------------------------------------------------
+
+    def _decode_shared_target(self, phys: int):
+        """A special-op physical argument must name shared memory:
+        either a remote window (home = that node) or the local MPM
+        (home = this node).  Returns (home_node, offset)."""
+        decoded = self.amap.decode(phys)
+        if decoded.region is Region.REMOTE:
+            return decoded.node, decoded.offset
+        if decoded.region is Region.MPM:
+            return self.node_id, decoded.offset
+        raise LaunchError(f"special-op argument {decoded!r} is not shared memory")
+
+    def _execute_special(self, opcode, addresses, operands, blocking: bool):
+        if opcode is SpecialOpcode.REMOTE_COPY:
+            result = yield from self._execute_copy(addresses, operands)
+            return result
+        atomic = opcode.to_atomic()
+        if not blocking:
+            raise LaunchError(f"{opcode.name} must be launched as a blocking read")
+        home, offset = self._decode_shared_target(addresses[0])
+        self.stats["atomics"] += 1
+        op0 = operands[0]
+        op1 = operands[1] if len(operands) > 1 else 0
+        if home == self.node_id:
+            yield self.params.timing.hib_atomic_extra_ns
+            result, old, new = yield from self.backend.rmw(
+                offset, lambda old: apply_atomic(atomic, old, op0, op1)
+            )
+            yield from self._after_home_atomic(offset, new, old)
+            return result
+        self.page_counters.on_access((home, self.amap.page_of(offset)), "write")
+        op_id = next(self._op_ids)
+        future = Future()
+        self._pending[op_id] = future
+        packet = Packet(
+            PacketKind.ATOMIC_REQ,
+            src=self.node_id,
+            dst=home,
+            size_bytes=self.params.packets.atomic_request,
+            address=offset,
+            op_id=op_id,
+            origin=self.node_id,
+            meta={"atomic": atomic, "op0": op0, "op1": op1},
+            injected_at=self.sim.now,
+        )
+        yield self.port.send(packet)
+        result = yield future
+        return result
+
+    def _execute_copy(self, addresses, operands):
+        """Remote copy (§2.2.2): non-blocking memory-to-memory read."""
+        self.stats["copies"] += 1
+        src_home, src_offset = self._decode_shared_target(addresses[0])
+        dst_home, dst_offset = self._decode_shared_target(addresses[1])
+        if src_home == self.node_id:
+            value = yield from self.backend.read(src_offset)
+            if dst_home == self.node_id:
+                yield from self.backend.write(dst_offset, value)
+            else:
+                yield from self._issue_remote_write(dst_home, dst_offset, value)
+            return 0
+        self.page_counters.on_access(
+            (src_home, self.amap.page_of(src_offset)), "read"
+        )
+        self.outstanding.increment()
+        packet = Packet(
+            PacketKind.COPY_REQ,
+            src=self.node_id,
+            dst=src_home,
+            size_bytes=self.params.packets.copy_request,
+            address=src_offset,
+            origin=self.node_id,
+            meta={"dst_node": dst_home, "dst_offset": dst_offset},
+            injected_at=self.sim.now,
+        )
+        yield self.port.send(packet)
+        return 0
+
+    def _after_home_atomic(self, offset: int, new: int, old: int):
+        """Let the coherence engine propagate an atomic's effect on the
+        home copy to any sharers."""
+        if self.coherence is not None and new != old:
+            yield from self.coherence.on_home_write(
+                self, offset, new, origin=self.node_id
+            )
+
+    # ------------------------------------------------------------------
+    # Local shared-memory stores (the coherence entry point)
+    # ------------------------------------------------------------------
+
+    def _local_shared_store(self, offset: int, value: int):
+        page = self.amap.page_of(offset)
+        if self.coherence is not None and self.coherence.handles_page(self, page):
+            yield from self.coherence.on_local_store(self, offset, value)
+            return
+        yield from self.backend.write(offset, value)
+        # Raw eager-update multicast (§2.2.7): mapped-out pages forward
+        # every processor write to their remote images.
+        destinations = self.multicast.destinations(page)
+        if destinations:
+            in_page = self.amap.page_offset(offset)
+            for node, remote_page in destinations:
+                self.stats["multicast_updates"] += 1
+                yield from self._issue_remote_write(
+                    node, self.amap.page_base(remote_page) + in_page, value
+                )
+
+    # ------------------------------------------------------------------
+    # Network servant
+    # ------------------------------------------------------------------
+
+    def _service_loop(self):
+        """Request-class servant: drains the request virtual network."""
+        timing = self.params.timing
+        while True:
+            packet: Packet = yield self.port.receive()
+            self.stats["packets_served"] += 1
+            yield timing.hib_decode_ns
+            handler = {
+                PacketKind.WRITE_REQ: self._serve_write,
+                PacketKind.READ_REQ: self._serve_read,
+                PacketKind.ATOMIC_REQ: self._serve_atomic,
+                PacketKind.COPY_REQ: self._serve_copy,
+                PacketKind.UPDATE: self._serve_update,
+                PacketKind.RING_UPDATE: self._serve_ring,
+            }[packet.kind]
+            yield from handler(packet)
+
+    def _reply_loop(self):
+        """Reply-class servant: the dedicated response latch.  Replies
+        resolve futures and acks decrement counters — cheap work on a
+        path that congested request traffic cannot delay."""
+        timing = self.params.timing
+        while True:
+            packet: Packet = yield self.port.receive_reply()
+            self.stats["packets_served"] += 1
+            yield 2 * timing.hib_cycle_ns
+            if packet.kind is PacketKind.WRITE_ACK:
+                yield from self._serve_ack(packet)
+            else:
+                yield from self._serve_reply(packet)
+
+    def _serve_write(self, packet: Packet):
+        yield from self.backend.write(packet.address, packet.value)
+        self.tracer.record(
+            "home_write",
+            node=self.node_id,
+            offset=packet.address,
+            value=packet.value,
+            origin=packet.origin,
+        )
+        if self.coherence is not None:
+            yield from self.coherence.on_home_write(
+                self, packet.address, packet.value, origin=packet.origin
+            )
+        yield from self._ack(packet)
+
+    def _ack(self, packet: Packet):
+        target = packet.origin if packet.origin is not None else packet.src
+        if target == self.node_id:
+            self.outstanding.decrement()
+            return
+        ack = Packet(
+            PacketKind.WRITE_ACK,
+            src=self.node_id,
+            dst=target,
+            size_bytes=self.params.packets.ack,
+            op_id=packet.op_id,
+            injected_at=self.sim.now,
+        )
+        yield self.port.send(ack)
+
+    def _serve_read(self, packet: Packet):
+        value = yield from self.backend.read(packet.address)
+        yield self.params.timing.hib_inject_ns
+        reply = Packet(
+            PacketKind.READ_REPLY,
+            src=self.node_id,
+            dst=packet.src,
+            size_bytes=self.params.packets.read_reply,
+            address=packet.address,
+            value=value,
+            op_id=packet.op_id,
+            injected_at=self.sim.now,
+        )
+        yield self.port.send(reply)
+
+    def _serve_atomic(self, packet: Packet):
+        yield self.params.timing.hib_atomic_extra_ns
+        result, old, new = yield from self.backend.rmw(
+            packet.address,
+            lambda o: apply_atomic(
+                packet.meta["atomic"], o, packet.meta["op0"], packet.meta["op1"]
+            ),
+        )
+        yield self.params.timing.hib_inject_ns
+        reply = Packet(
+            PacketKind.ATOMIC_REPLY,
+            src=self.node_id,
+            dst=packet.src,
+            size_bytes=self.params.packets.atomic_reply,
+            address=packet.address,
+            value=result,
+            op_id=packet.op_id,
+            injected_at=self.sim.now,
+        )
+        yield self.port.send(reply)
+        yield from self._after_home_atomic(packet.address, new, old)
+
+    def _serve_copy(self, packet: Packet):
+        value = yield from self.backend.read(packet.address)
+        dst_node = packet.meta["dst_node"]
+        dst_offset = packet.meta["dst_offset"]
+        if dst_node == self.node_id:
+            yield from self.backend.write(dst_offset, value)
+            yield from self._ack(packet)
+            return
+        yield self.params.timing.hib_inject_ns
+        write = Packet(
+            PacketKind.WRITE_REQ,
+            src=self.node_id,
+            dst=dst_node,
+            size_bytes=self.params.packets.write_request,
+            address=dst_offset,
+            value=value,
+            origin=packet.origin,  # the copy's issuer gets the ack
+            injected_at=self.sim.now,
+        )
+        yield self.port.send(write)
+
+    def _serve_reply(self, packet: Packet):
+        future = self._pending.pop(packet.op_id, None)
+        if future is None:
+            raise RuntimeError(
+                f"node {self.node_id}: reply for unknown op {packet.op_id}"
+            )
+        yield 0
+        future.set_result(packet.value)
+
+    def _serve_ack(self, packet: Packet):
+        yield 0
+        self.outstanding.decrement()
+
+    def _serve_update(self, packet: Packet):
+        if self.coherence is None:
+            raise RuntimeError(
+                f"node {self.node_id}: UPDATE packet without a coherence engine"
+            )
+        yield from self.coherence.on_update(self, packet)
+
+    def _serve_ring(self, packet: Packet):
+        if self.coherence is None:
+            raise RuntimeError(
+                f"node {self.node_id}: RING_UPDATE without a coherence engine"
+            )
+        yield from self.coherence.on_ring(self, packet)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def _counter_alarm(self, page_key, kind: str) -> None:
+        self.tracer.record(
+            "page_alarm", node=self.node_id, page=page_key, kind=kind
+        )
+        if self.interrupts is not None:
+            self.interrupts.post("page_alarm", {"page": page_key, "kind": kind})
+
+    def reset_special_state(self) -> None:
+        """OS recovery path (§2.2.4 footnote): after killing a process
+        that faulted mid-launch, restore the HIB to a clean state."""
+        self.special1.reset()
+
+    def assign_context(self, ctx_id: int, key: int) -> TelegraphosContext:
+        """Driver operation: bind a context to a process via a key."""
+        context = self._context(ctx_id)
+        context.assign(key)
+        return context

@@ -1,0 +1,63 @@
+"""The eager-update multicast directory (§2.2.7).
+
+"Each local page can be mapped out to one or more remote pages.  Every
+update made by the processor to the local page is transparently sent
+to all remote pages, much like remote write operations."
+
+The table maps a local (backend) page number to a list of
+``(node, remote_page)`` destinations.  Table 1 sizes it at 16 K
+entries of 32 bits; each destination consumes one entry, and the model
+enforces that capacity so directory pressure is observable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+Destination = Tuple[int, int]  # (node_id, remote_page_number)
+
+
+class MulticastTable:
+    """One HIB's multicast (eager-sharing) list memory."""
+
+    def __init__(self, capacity_entries: int = 16384):
+        self.capacity_entries = capacity_entries
+        self._map: Dict[int, List[Destination]] = {}
+        self.entries_used = 0
+
+    def map_out(self, local_page: int, node: int, remote_page: int) -> None:
+        """Add one destination for a local page (OS/driver operation)."""
+        destinations = self._map.setdefault(local_page, [])
+        dest = (node, remote_page)
+        if dest in destinations:
+            return
+        if self.entries_used >= self.capacity_entries:
+            raise RuntimeError(
+                f"multicast table full ({self.capacity_entries} entries)"
+            )
+        destinations.append(dest)
+        self.entries_used += 1
+
+    def unmap(self, local_page: int, node: int, remote_page: int) -> None:
+        destinations = self._map.get(local_page, [])
+        try:
+            destinations.remove((node, remote_page))
+        except ValueError:
+            return
+        self.entries_used -= 1
+        if not destinations:
+            del self._map[local_page]
+
+    def unmap_page(self, local_page: int) -> None:
+        destinations = self._map.pop(local_page, [])
+        self.entries_used -= len(destinations)
+
+    def destinations(self, local_page: int) -> List[Destination]:
+        """Destinations for a local page (empty if not mapped out)."""
+        return list(self._map.get(local_page, []))
+
+    def is_mapped(self, local_page: int) -> bool:
+        return local_page in self._map
+
+    def mapped_pages(self) -> List[int]:
+        return sorted(self._map)

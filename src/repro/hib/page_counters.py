@@ -1,0 +1,103 @@
+"""Page access counters and alarms (§2.2.6).
+
+"The HIB maintains two counters for each remote sharable page: one
+that counts read operations and one that counts write operations.
+When the processor accesses the page remotely, the corresponding
+counter is decremented (unless the counter is zero).  When the counter
+is decremented from one to zero, an interrupt is sent to the operating
+system."
+
+Two usage modes, both from the paper:
+
+- **monitoring**: set the counters to large values and periodically
+  read them to find hot spots / drive profiling tools;
+- **alarm-based replication**: set them to small values so the OS is
+  interrupted after N remote accesses and can decide to replicate the
+  page locally (the §2.2.6 policy, exercised by
+  :mod:`repro.os.replication`).
+
+Counters saturate at the Table 1 width (16 bits each by default).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+#: Key identifying a remote page: (home_node, page_number).
+PageKey = Tuple[int, int]
+
+
+class PageAccessCounters:
+    """The counter table of one HIB.
+
+    ``alarm`` is called as ``alarm(page_key, kind)`` when a counter
+    transitions 1 → 0 (``kind`` is ``"read"`` or ``"write"``) — wired
+    to the node's interrupt controller by the HIB.
+    """
+
+    def __init__(
+        self,
+        counter_bits: int = 16,
+        max_pages: int = 65536,
+        alarm: Optional[Callable[[PageKey, str], None]] = None,
+    ):
+        self.counter_bits = counter_bits
+        self.max_value = (1 << counter_bits) - 1
+        self.max_pages = max_pages
+        self.alarm = alarm
+        self._read: Dict[PageKey, int] = {}
+        self._write: Dict[PageKey, int] = {}
+        # Lifetime access totals (always counted; the decrementing
+        # counters are the *alarm* mechanism, these are statistics).
+        self.read_accesses: Dict[PageKey, int] = {}
+        self.write_accesses: Dict[PageKey, int] = {}
+
+    def _table(self, kind: str) -> Dict[PageKey, int]:
+        if kind == "read":
+            return self._read
+        if kind == "write":
+            return self._write
+        raise ValueError(f"unknown counter kind {kind!r}")
+
+    # -- OS interface -------------------------------------------------------
+
+    def set_counter(self, page: PageKey, kind: str, value: int) -> None:
+        """Arm a counter (OS/driver operation)."""
+        if not 0 <= value <= self.max_value:
+            raise ValueError(
+                f"counter value {value} does not fit in {self.counter_bits} bits"
+            )
+        table = self._table(kind)
+        if page not in table and len(table) >= self.max_pages:
+            raise RuntimeError("page-counter table full")
+        table[page] = value
+
+    def read_counter(self, page: PageKey, kind: str) -> int:
+        return self._table(kind).get(page, 0)
+
+    def clear(self, page: PageKey) -> None:
+        self._read.pop(page, None)
+        self._write.pop(page, None)
+
+    # -- hardware path -------------------------------------------------------
+
+    def on_access(self, page: PageKey, kind: str) -> None:
+        """Called by the HIB on every remote access it issues."""
+        totals = self.read_accesses if kind == "read" else self.write_accesses
+        totals[page] = totals.get(page, 0) + 1
+        table = self._table(kind)
+        current = table.get(page, 0)
+        if current == 0:
+            return  # "unless the counter is zero"
+        table[page] = current - 1
+        if current == 1 and self.alarm is not None:
+            self.alarm(page, kind)
+
+    def total_accesses(self, page: PageKey) -> int:
+        return self.read_accesses.get(page, 0) + self.write_accesses.get(page, 0)
+
+    def hottest_pages(self, n: int = 5):
+        """Monitoring helper: pages by total accesses, descending."""
+        keys = set(self.read_accesses) | set(self.write_accesses)
+        ranked = sorted(keys, key=lambda k: (-self.total_accesses(k), k))
+        return [(k, self.total_accesses(k)) for k in ranked[:n]]

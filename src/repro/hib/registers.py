@@ -1,0 +1,92 @@
+"""The HIB register map (offsets within the HIB physical region).
+
+User-visible control registers live in the first page so the OS can
+map them into a process's address space; each Telegraphos II context
+occupies its own page starting at :data:`Reg.CONTEXT_BASE`, so a
+context can be mapped into exactly one process — that mapping *is*
+the protection boundary (§2.2.4: "an application that attempts to
+write to a Telegraphos context it is not allowed to, will immediately
+take a page fault").
+"""
+
+from __future__ import annotations
+
+
+class Reg:
+    """Register offsets (byte offsets in the HIB region)."""
+
+    # --- Telegraphos I special-mode launch (§2.2.4) -----------------
+    #: Write an opcode here to arm special mode; write 0 to disarm.
+    SPECIAL_MODE = 0x0000
+    #: Load: execute the armed operation, return its result (blocking).
+    SPECIAL_RESULT = 0x0008
+    #: Store: execute the armed operation without waiting (remote copy).
+    SPECIAL_GO = 0x0010
+
+    # --- Status / identification -------------------------------------
+    #: Load: this node's id.
+    NODE_ID = 0x0020
+    #: Load: current count of outstanding remote operations.
+    OUTSTANDING = 0x0028
+    #: Load: blocks until all outstanding remote operations complete
+    #: (the FENCE / MEMORY_BARRIER of §2.3.5); returns 0.
+    FENCE = 0x0030
+
+    # --- Page-access-counter window (§2.2.6) ---------------------------
+    #: Store: select the home node of the page whose counters to access.
+    COUNTER_SELECT_NODE = 0x0040
+    #: Store: select the page number.
+    COUNTER_SELECT_PAGE = 0x0048
+    #: Load: the selected page's read counter.  Store: arm it.
+    COUNTER_READ_CTR = 0x0050
+    #: Load: the selected page's write counter.  Store: arm it.
+    COUNTER_WRITE_CTR = 0x0058
+    #: Load: lifetime access total of the selected page (monitoring
+    #: mode: "periodically reading them ... display statistics").
+    COUNTER_TOTAL = 0x0060
+
+    # --- Telegraphos II context pages (§2.2.4) ------------------------
+    #: Context ``i`` occupies the page at CONTEXT_BASE + i * page_bytes.
+    CONTEXT_BASE = 0x100000
+
+    # Offsets within a context page:
+    CTX_OPCODE = 0x00
+    CTX_OPERAND0 = 0x08
+    CTX_OPERAND1 = 0x10
+    #: Load: execute (blocking) and return result.  Store: execute
+    #: without waiting (non-blocking remote copy).
+    CTX_GO = 0x18
+    #: Load: number of physical addresses latched so far (the
+    #: resumability guarantee: "the Telegraphos contexts preserve
+    #: their contents" across interruptions).
+    CTX_STATUS = 0x20
+
+    #: Bits of the shadow-store argument used for the protection key;
+    #: the remaining high bits select the context (§2.2.5: "The lowest
+    #: bits of the argument of the store operation constitute a key").
+    KEY_BITS = 20
+    KEY_MASK = (1 << KEY_BITS) - 1
+
+    @classmethod
+    def context_page_offset(cls, ctx_id: int, page_bytes: int) -> int:
+        return cls.CONTEXT_BASE + ctx_id * page_bytes
+
+    @classmethod
+    def split_context_offset(cls, offset: int, page_bytes: int):
+        """Map a HIB-region offset into (ctx_id, reg) if it falls in a
+        context page, else None."""
+        if offset < cls.CONTEXT_BASE:
+            return None
+        ctx_id, reg = divmod(offset - cls.CONTEXT_BASE, page_bytes)
+        return ctx_id, reg
+
+    @classmethod
+    def shadow_argument(cls, ctx_id: int, key: int) -> int:
+        """Compose the store *datum* used with a shadow store."""
+        if key & ~cls.KEY_MASK:
+            raise ValueError("key wider than KEY_BITS")
+        return (ctx_id << cls.KEY_BITS) | key
+
+    @classmethod
+    def split_shadow_argument(cls, value: int):
+        return value >> cls.KEY_BITS, value & cls.KEY_MASK

@@ -1,0 +1,67 @@
+"""The workstation model (DEC 3000 model 300 "Pelican" stand-in).
+
+One Telegraphos node is a workstation: a CPU executing user programs,
+main memory behind a memory bus, a small cache for local data, an MMU
+(page tables + TLB) enforcing protection, an interrupt controller, and
+a TurboChannel I/O bus into which the HIB plugs (§2.1).
+
+- :mod:`repro.machine.addresses` — the physical address map: local
+  DRAM, remote windows (node id in the high bits, §2.2.1), HIB
+  registers, HIB on-board memory (MPM), and the Telegraphos II shadow
+  space (§2.2.4).
+- :mod:`repro.machine.memory` — word-addressed main memory / MPM.
+- :mod:`repro.machine.cache` — direct-mapped write-through cache used
+  for local cacheable data ("Telegraphos does not interfere with these
+  accesses at all", §2.2.1).
+- :mod:`repro.machine.bus` — arbitrated buses (memory bus and
+  TurboChannel).
+- :mod:`repro.machine.mmu` — page tables, TLB, protection, faults.
+- :mod:`repro.machine.ops` — the instruction-level operations user
+  programs yield (Load/Store/Think/PAL sequences...).
+- :mod:`repro.machine.cpu` — the processor: drives user programs,
+  blocks on loads, streams stores, supports PAL mode and preemption.
+- :mod:`repro.machine.interrupts` — interrupt controller + dispatch.
+"""
+
+from repro.machine.addresses import AddressMap, DecodedAddress, Region
+from repro.machine.bus import Bus
+from repro.machine.cache import DirectMappedCache
+from repro.machine.cpu import CPU, ProtectionViolation
+from repro.machine.interrupts import InterruptController
+from repro.machine.memory import WordMemory
+from repro.machine.mmu import (
+    MMU,
+    AddressSpace,
+    PageFault,
+    PageTableEntry,
+    TLB,
+)
+from repro.machine.ops import (
+    Fence,
+    Load,
+    PalSequence,
+    Store,
+    Think,
+)
+
+__all__ = [
+    "AddressMap",
+    "AddressSpace",
+    "Bus",
+    "CPU",
+    "DecodedAddress",
+    "DirectMappedCache",
+    "Fence",
+    "InterruptController",
+    "Load",
+    "MMU",
+    "PageFault",
+    "PageTableEntry",
+    "PalSequence",
+    "ProtectionViolation",
+    "Region",
+    "Store",
+    "TLB",
+    "Think",
+    "WordMemory",
+]

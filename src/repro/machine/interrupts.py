@@ -1,0 +1,56 @@
+"""Interrupt delivery.
+
+The HIB raises interrupts in two situations the paper cares about:
+page-access-counter alarms (§2.2.6, "an interrupt is sent to the
+operating system") and launch-sequence protection errors.  The
+controller serialises delivery per node (one handler at a time, FIFO),
+charging the OS interrupt-dispatch cost before the handler body runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.params import TimingParams
+from repro.sim import BoundedQueue, Simulator
+
+#: A handler is a callable returning a generator (a simulation
+#: sub-process body) invoked with the interrupt payload.
+Handler = Callable[[Any], Any]
+
+
+class InterruptController:
+    """Per-node interrupt controller with FIFO delivery."""
+
+    def __init__(self, sim: Simulator, timing: TimingParams, node_id: int):
+        self.sim = sim
+        self.timing = timing
+        self.node_id = node_id
+        self._handlers: Dict[str, Handler] = {}
+        self._pending = BoundedQueue(1024, name=f"irq{node_id}")
+        self.delivered = 0
+        self.dropped = 0
+        sim.spawn(self._dispatcher(), name=f"irq-dispatch{node_id}")
+
+    def register(self, vector: str, handler: Handler) -> None:
+        """Install ``handler`` for ``vector`` (replaces any previous)."""
+        self._handlers[vector] = handler
+
+    def post(self, vector: str, payload: Any = None) -> None:
+        """Raise an interrupt (non-blocking; hardware side)."""
+        if not self._pending.try_put((vector, payload)):
+            self.dropped += 1  # pragma: no cover - queue is generous
+
+    def _dispatcher(self):
+        while True:
+            vector, payload = yield self._pending.get()
+            handler = self._handlers.get(vector)
+            yield self.timing.os_interrupt_ns
+            if handler is not None:
+                # Run the handler to completion before the next
+                # interrupt is delivered (interrupts masked inside
+                # handlers — the simple model).
+                yield self.sim.spawn(
+                    handler(payload), name=f"irq{self.node_id}.{vector}"
+                )
+            self.delivered += 1

@@ -1,0 +1,26 @@
+"""The Telegraphos interconnect.
+
+§2.1 of the paper states the four properties of the Telegraphos switch
+network: *back-pressured flow control*, *deterministic routing*,
+*in-order delivery of packets*, and *deadlock freedom*.  This package
+implements an interconnect with exactly those properties:
+
+- :mod:`repro.network.packet` — typed network packets with wire sizes.
+- :mod:`repro.network.link` — point-to-point links with serialization
+  delay, propagation delay, and credit back-pressure.
+- :mod:`repro.network.switch` — input-buffered switches with
+  deterministic table routing and per-(source, destination) in-order
+  forwarding.
+- :mod:`repro.network.routing` — spanning-tree (up*/down*) route
+  computation: deterministic and deadlock-free on any topology.
+- :mod:`repro.network.topology` — cluster topology builders (star,
+  chain, ring, 2-D mesh).
+- :mod:`repro.network.fabric` — composition: builds the switches and
+  links for a topology and exposes one :class:`NetworkPort` per host.
+"""
+
+from repro.network.fabric import Fabric, NetworkPort
+from repro.network.packet import Packet, PacketKind
+from repro.network.topology import Topology
+
+__all__ = ["Fabric", "NetworkPort", "Packet", "PacketKind", "Topology"]

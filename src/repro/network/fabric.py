@@ -1,0 +1,188 @@
+"""Fabric composition: topology + switches + links → host ports.
+
+The :class:`Fabric` builds the whole interconnect for a
+:class:`~repro.network.topology.Topology` and hands each workstation a
+:class:`NetworkPort`.
+
+The interconnect is built as **two parallel virtual networks** over
+the same topology: a *request* plane (writes, reads, atomics, copies,
+updates) and a *response* plane (read replies, atomic replies, write
+acks).  The Telegraphos switch provides VC-level flow control with a
+shared central buffer ([17]); modelling the VCs as parallel planes
+captures the property that matters for the paper's arguments: a
+congested request stream back-pressures other *requests*, but never
+delays replies — the classic request/response separation that also
+rules out protocol deadlock.
+
+Each plane's host attachment uses the HIB FIFO depths from
+:class:`~repro.params.SizingParams`, so HIB-side queueing behaviour
+(the §3.2 "short batches of write operations execute even faster"
+effect) is a property of the fabric, not of test scaffolding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.params import Params
+from repro.sim import BoundedQueue, Simulator
+from repro.network.link import Link
+from repro.network.packet import Packet
+from repro.network.routing import compute_routes
+from repro.network.switch import Switch
+from repro.network.topology import Topology
+
+#: The two virtual networks.
+VCS = ("req", "rsp")
+
+
+class NetworkPort:
+    """A host's attachment point: egress/ingress FIFOs per VC."""
+
+    def __init__(self, node_id: int,
+                 egress: Dict[str, BoundedQueue],
+                 ingress: Dict[str, BoundedQueue]):
+        self.node_id = node_id
+        self._egress = egress
+        self._ingress = ingress
+
+    def send(self, packet: Packet):
+        """Inject a packet on its VC (returns a future; blocks while
+        that VC's egress FIFO is full — the TurboChannel stalls)."""
+        vc = "rsp" if packet.kind.is_reply else "req"
+        return self._egress[vc].put(packet)
+
+    def try_send(self, packet: Packet) -> bool:
+        vc = "rsp" if packet.kind.is_reply else "req"
+        return self._egress[vc].try_put(packet)
+
+    def receive(self):
+        """Future resolving with the next incoming *request-class*
+        packet."""
+        return self._ingress["req"].get()
+
+    def receive_reply(self):
+        """Future resolving with the next incoming *reply-class*
+        packet."""
+        return self._ingress["rsp"].get()
+
+    @property
+    def egress(self) -> BoundedQueue:
+        """The request-plane egress FIFO (the §3.2 write queue)."""
+        return self._egress["req"]
+
+    @property
+    def ingress(self) -> BoundedQueue:
+        return self._ingress["req"]
+
+
+class Fabric:
+    """Builds and owns every switch and link of the cluster network."""
+
+    def __init__(self, sim: Simulator, params: Params, topology: Topology):
+        topology.validate()
+        self.sim = sim
+        self.params = params
+        self.topology = topology
+        #: switches[vc][switch_id]
+        self.switches: Dict[str, Dict[object, Switch]] = {vc: {} for vc in VCS}
+        self.links: List[Link] = []
+        self.ports: Dict[int, NetworkPort] = {}
+        self._build()
+
+    def _build(self) -> None:
+        sizing = self.params.sizing
+        timing = self.params.timing
+        topo = self.topology
+
+        for vc in VCS:
+            for switch_id in topo.switch_ids:
+                self.switches[vc][switch_id] = Switch(
+                    self.sim, self.params, f"{switch_id}.{vc}"
+                )
+
+        # Host attachments per VC.
+        host_queues: Dict[int, Dict[str, Dict[str, BoundedQueue]]] = {}
+        for node_id in topo.hosts:
+            host_queues[node_id] = {"egress": {}, "ingress": {}}
+            for vc in VCS:
+                switch = self.switches[vc][topo.host_attachment[node_id]]
+                egress = BoundedQueue(
+                    sizing.hib_out_fifo, name=f"hib{node_id}.out.{vc}"
+                )
+                ingress = BoundedQueue(
+                    sizing.hib_in_fifo, name=f"hib{node_id}.in.{vc}"
+                )
+                switch_in = switch.add_input(("host", node_id))
+                self.links.append(
+                    Link(self.sim, timing, egress, switch_in,
+                         name=f"host{node_id}->sw.{vc}")
+                )
+                to_host = BoundedQueue(
+                    sizing.link_credits, name=f"sw->host{node_id}.buf.{vc}"
+                )
+                switch.add_output(("host", node_id), to_host)
+                self.links.append(
+                    Link(self.sim, timing, to_host, ingress,
+                         name=f"sw->host{node_id}.{vc}")
+                )
+                host_queues[node_id]["egress"][vc] = egress
+                host_queues[node_id]["ingress"][vc] = ingress
+            self.ports[node_id] = NetworkPort(
+                node_id,
+                host_queues[node_id]["egress"],
+                host_queues[node_id]["ingress"],
+            )
+
+        # Inter-switch cables (both directions, both VCs).
+        for a, b in sorted(topo.switch_edges, key=repr):
+            for vc in VCS:
+                self._wire_switch_pair(vc, a, b)
+                self._wire_switch_pair(vc, b, a)
+
+        # Routing tables (identical on both planes).
+        tables = compute_routes(topo)
+        for vc in VCS:
+            for switch_id, table in tables.items():
+                self.switches[vc][switch_id].install_routes(table)
+
+    def _wire_switch_pair(self, vc: str, src_id: object, dst_id: object) -> None:
+        sizing = self.params.sizing
+        timing = self.params.timing
+        src = self.switches[vc][src_id]
+        dst = self.switches[vc][dst_id]
+        buffer = BoundedQueue(
+            sizing.link_credits, name=f"sw{src_id}->sw{dst_id}.buf.{vc}"
+        )
+        src.add_output(("switch", dst_id), buffer)
+        dst_in = dst.add_input(("switch", src_id))
+        self.links.append(
+            Link(self.sim, timing, buffer, dst_in,
+                 name=f"sw{src_id}->sw{dst_id}.{vc}")
+        )
+
+    # -- API -------------------------------------------------------------
+
+    def port(self, node_id: int) -> NetworkPort:
+        try:
+            return self.ports[node_id]
+        except KeyError:
+            raise KeyError(f"no host {node_id} in this fabric") from None
+
+    @property
+    def total_packets_routed(self) -> int:
+        return sum(
+            sw.packets_routed
+            for plane in self.switches.values()
+            for sw in plane.values()
+        )
+
+    def link_stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            link.name: {
+                "packets": link.packets_carried,
+                "bytes": link.bytes_carried,
+                "busy_ns": link.busy_ns,
+            }
+            for link in self.links
+        }

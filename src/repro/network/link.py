@@ -1,0 +1,88 @@
+"""Point-to-point links.
+
+A :class:`Link` moves packets from a source queue to a destination
+queue, one at a time, charging serialization time (size / bandwidth)
+plus propagation delay.  Back-pressure is structural: the link does not
+take the next packet from its source until the destination queue has
+accepted the current one, so a full buffer at the far end stalls the
+link, which fills the source queue, which stalls whoever feeds it —
+exactly the paper's "back-pressured flow control" (§2.1).
+
+Because a link is a single simulation process draining a FIFO, it
+trivially preserves order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.params import TimingParams
+from repro.sim import BoundedQueue, Simulator
+from repro.network.packet import Packet
+
+
+class Link:
+    """A unidirectional link between two buffers.
+
+    ``src`` is drained; ``dst`` is filled.  The constructor spawns the
+    pump process; the link runs for the life of the simulation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        timing: TimingParams,
+        src: BoundedQueue,
+        dst: BoundedQueue,
+        name: str = "link",
+    ):
+        self.sim = sim
+        self.timing = timing
+        self.src = src
+        self.dst = dst
+        self.name = name
+        self.packets_carried = 0
+        self.bytes_carried = 0
+        self.busy_ns = 0
+        # One-deep wire stage: the serializer hands each packet to the
+        # propagation pump, so the next packet's serialization overlaps
+        # the previous packet's flight time — link throughput is set by
+        # bandwidth alone, latency by bandwidth + propagation.
+        self._wire = BoundedQueue(1, name=f"{name}.wire")
+        self._serializer = sim.spawn(self._serialize(), name=f"{name}.ser")
+        self._pump = sim.spawn(self._propagate(), name=f"{name}.prop")
+
+    def _serialize(self):
+        timing = self.timing
+        while True:
+            packet: Packet = yield self.src.get()
+            serialization = timing.serialization_ns(packet.size_bytes)
+            yield serialization
+            self.busy_ns += serialization
+            yield self._wire.put(packet)
+
+    def _propagate(self):
+        timing = self.timing
+        while True:
+            packet: Packet = yield self._wire.get()
+            yield timing.link_prop_ns
+            # Blocks while the downstream buffer is full: back-pressure.
+            yield self.dst.put(packet)
+            self.packets_carried += 1
+            self.bytes_carried += packet.size_bytes
+
+    @property
+    def utilization_ns(self) -> int:
+        """Total time the link spent clocking bits."""
+        return self.busy_ns
+
+
+def connect(
+    sim: Simulator,
+    timing: TimingParams,
+    src: BoundedQueue,
+    dst: BoundedQueue,
+    name: Optional[str] = None,
+) -> Link:
+    """Convenience constructor for a :class:`Link`."""
+    return Link(sim, timing, src, dst, name=name or f"{src.name}->{dst.name}")

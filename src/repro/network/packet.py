@@ -1,0 +1,101 @@
+"""Network packets.
+
+Every interaction between HIBs is one of a small set of packet kinds,
+mirroring §2.2 of the paper:
+
+- ``WRITE_REQ`` — a remote write (fire-and-forget; §2.2.1).
+- ``READ_REQ`` / ``READ_REPLY`` — a blocking remote read round trip.
+- ``ATOMIC_REQ`` / ``ATOMIC_REPLY`` — fetch_and_store / fetch_and_inc /
+  compare_and_swap (§2.2.3), executed at the home HIB.
+- ``COPY_REQ`` — remote copy: a non-blocking memory-to-memory read
+  (§2.2.2); the home node answers with a ``WRITE_REQ`` carrying the
+  data to the destination address.
+- ``UPDATE`` — an eager-update / reflected-write multicast packet
+  (§2.2.7, §2.3); carries the origin node so the counter protocol can
+  recognise a node's own writes coming back from the owner.
+- ``WRITE_ACK`` — completion notice used by the outstanding-operation
+  counters that implement FENCE (§2.3.5).
+- ``RING_UPDATE`` — Galactica-baseline ring traversal packet (§2.4).
+
+Packets carry their wire size so links can charge serialization time.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class PacketKind(enum.Enum):
+    WRITE_REQ = "write_req"
+    READ_REQ = "read_req"
+    READ_REPLY = "read_reply"
+    ATOMIC_REQ = "atomic_req"
+    ATOMIC_REPLY = "atomic_reply"
+    COPY_REQ = "copy_req"
+    UPDATE = "update"
+    WRITE_ACK = "write_ack"
+    RING_UPDATE = "ring_update"
+
+    @property
+    def is_reply(self) -> bool:
+        """Reply-class packets travel on the response virtual network
+        (the Telegraphos switch provides VC-level flow control [17]);
+        separating request and response traffic is also the classic
+        guard against protocol deadlock, and it means a congested
+        request stream cannot delay read replies or write acks."""
+        return self in (
+            PacketKind.READ_REPLY,
+            PacketKind.ATOMIC_REPLY,
+            PacketKind.WRITE_ACK,
+        )
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One network packet.
+
+    ``src`` and ``dst`` are host (node) identifiers; switches never
+    appear as endpoints.  ``op_id`` ties replies to requests.
+    ``origin`` is the node whose processor initiated the operation —
+    for reflected writes it differs from ``src`` (which is the owner).
+    """
+
+    kind: PacketKind
+    src: int
+    dst: int
+    size_bytes: int
+    address: Optional[int] = None
+    value: Optional[int] = None
+    op_id: Optional[int] = None
+    origin: Optional[int] = None
+    #: Free-form extras (atomic opcode/operands, copy destination...).
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: Unique id (debugging, tracing).
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Timestamp of injection into the fabric (set by the sender).
+    injected_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        if self.src == self.dst:
+            raise ValueError(
+                f"packet {self.kind} sent from node {self.src} to itself; "
+                "local operations must not enter the fabric"
+            )
+
+    def reply_to(self) -> int:
+        """Node a reply to this packet should go to."""
+        return self.src
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet#{self.pid} {self.kind.value} {self.src}->{self.dst} "
+            f"addr={self.address} val={self.value}>"
+        )

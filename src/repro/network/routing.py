@@ -1,0 +1,90 @@
+"""Deterministic, deadlock-free route computation.
+
+The Telegraphos switches use deterministic routing with guaranteed
+deadlock freedom (§2.1).  We obtain both properties by routing **on a
+spanning tree** of the switch graph (a special case of up*/down*
+routing): every destination has exactly one path from every source
+(deterministic, hence also in-order given FIFO links), and the channel
+dependency graph of a tree is acyclic (deadlock-free regardless of
+buffer sizes).
+
+Route tables map, per switch, destination *host* → next hop, where the
+next hop is either ``("host", node_id)`` (deliver locally) or
+``("switch", switch_id)`` (forward on the inter-switch cable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.network.topology import Topology
+
+NextHop = Tuple[str, object]
+
+
+def spanning_tree(topo: Topology) -> Dict[object, object]:
+    """BFS spanning tree over switches; returns child -> parent.
+
+    The BFS root is the first switch added; neighbor order is the
+    deterministic order of :meth:`Topology.neighbors`, so the tree —
+    and therefore every route in the system — is reproducible.
+    """
+    topo.validate()
+    root = topo.switch_ids[0]
+    parent: Dict[object, object] = {root: root}
+    frontier = [root]
+    while frontier:
+        next_frontier = []
+        for sw in frontier:
+            for nb in topo.neighbors(sw):
+                if nb not in parent:
+                    parent[nb] = sw
+                    next_frontier.append(nb)
+        frontier = next_frontier
+    return parent
+
+
+def tree_path(parent: Dict[object, object], a: object, b: object) -> list:
+    """Path from switch ``a`` to switch ``b`` along the spanning tree."""
+
+    def ancestry(node):
+        chain = [node]
+        while parent[node] != node:
+            node = parent[node]
+            chain.append(node)
+        return chain
+
+    up_a = ancestry(a)
+    up_b = ancestry(b)
+    common = None
+    set_b = set(up_b)
+    for node in up_a:
+        if node in set_b:
+            common = node
+            break
+    assert common is not None, "spanning tree must connect all switches"
+    head = up_a[: up_a.index(common) + 1]
+    tail = up_b[: up_b.index(common)]
+    return head + list(reversed(tail))
+
+
+def compute_routes(topo: Topology) -> Dict[object, Dict[int, NextHop]]:
+    """Per-switch routing tables: switch_id -> {dst_host: next_hop}."""
+    parent = spanning_tree(topo)
+    tables: Dict[object, Dict[int, NextHop]] = {sw: {} for sw in topo.switch_ids}
+    for dst_host, dst_switch in topo.host_attachment.items():
+        for sw in topo.switch_ids:
+            if sw == dst_switch:
+                tables[sw][dst_host] = ("host", dst_host)
+            else:
+                path = tree_path(parent, sw, dst_switch)
+                tables[sw][dst_host] = ("switch", path[1])
+    return tables
+
+
+def route_length(topo: Topology, src_host: int, dst_host: int) -> int:
+    """Number of switch hops between two hosts (1 = same switch)."""
+    parent = spanning_tree(topo)
+    a = topo.host_attachment[src_host]
+    b = topo.host_attachment[dst_host]
+    return len(tree_path(parent, a, b))

@@ -1,0 +1,163 @@
+"""The Telegraphos switch model.
+
+The real switch is a **pipelined-memory shared-buffer** design
+([16]: "Pipelined Memory Shared Buffer for VLSI Switches"; [17] adds
+VC-level flow control).  Behaviourally that means:
+
+- **deterministic routing**: a fixed table maps destination host to
+  output port;
+- **no head-of-line blocking**: arriving packets are deposited into a
+  *shared central buffer* and linked onto per-output queues, so a
+  congested output never blocks traffic for other outputs at the same
+  input — until the shared buffer itself fills;
+- **per-output fairness bound**: one output may occupy at most a
+  quota of the shared buffer, so a single hot destination cannot
+  starve the rest of the switch;
+- **back-pressure**: when the shared buffer is full, inputs stall,
+  which stalls the upstream links (§2.1 "back-pressured flow
+  control");
+- **in-order delivery**: each input port is drained by one process
+  and each output queue by one transmitter, so packets sharing a
+  (source, destination) pair — same input, same output — never
+  reorder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.params import Params
+from repro.sim import BoundedQueue, Simulator
+from repro.network.packet import Packet
+from repro.network.routing import NextHop
+
+
+class Switch:
+    """One switch: input FIFOs, routing table, shared buffer,
+    per-output queues + transmitters.
+
+    Ports are created by the fabric with :meth:`add_input` /
+    :meth:`add_output`; the routing table is installed once with
+    :meth:`install_routes` before traffic starts.
+    """
+
+    def __init__(self, sim: Simulator, params: Params, switch_id: object):
+        self.sim = sim
+        self.params = params
+        self.switch_id = switch_id
+        self._inputs: Dict[object, BoundedQueue] = {}
+        self._outputs: Dict[NextHop, BoundedQueue] = {}
+        self._routes: Dict[int, NextHop] = {}
+        # The shared central buffer, as a token pool.
+        slots = params.sizing.switch_buffer_slots
+        self._slots = BoundedQueue(slots, name=f"sw{switch_id}.buf")
+        for _ in range(slots):
+            self._slots.try_put(object())
+        self.packets_routed = 0
+        self.peak_buffer_use = 0
+
+    # -- wiring (fabric-time) ---------------------------------------------
+
+    def add_input(self, label: object) -> BoundedQueue:
+        """Create the input FIFO for a port; the fabric points a link
+        at it.  Returns the queue."""
+        if label in self._inputs:
+            raise ValueError(f"duplicate input port {label!r} on {self.switch_id!r}")
+        queue = BoundedQueue(
+            self.params.sizing.switch_port_fifo,
+            name=f"sw{self.switch_id}.in.{label}",
+        )
+        self._inputs[label] = queue
+        self.sim.spawn(
+            self._forwarder(queue), name=f"sw{self.switch_id}.fwd.{label}"
+        )
+        return queue
+
+    def add_output(self, hop: NextHop, link_queue: BoundedQueue) -> None:
+        """Register the source queue of the outgoing link for ``hop``
+        and start its transmitter."""
+        if hop in self._outputs:
+            raise ValueError(f"duplicate output {hop!r} on {self.switch_id!r}")
+        out_queue = BoundedQueue(
+            self.params.sizing.switch_output_quota,
+            name=f"sw{self.switch_id}.out.{hop}",
+        )
+        self._outputs[hop] = out_queue
+        self.sim.spawn(
+            self._transmitter(out_queue, link_queue),
+            name=f"sw{self.switch_id}.tx.{hop}",
+        )
+
+    def install_routes(self, table: Dict[int, NextHop]) -> None:
+        self._routes = dict(table)
+
+    # -- datapath -----------------------------------------------------------
+
+    def _forwarder(self, in_queue: BoundedQueue):
+        """Input stage: route into a per-(input, output) virtual output
+        queue.  A congested output fills only its own VOQ; packets for
+        other outputs at the same input flow past it — the VC-level
+        flow control of [17], which is what makes the §2.3.5 fast-path
+        /slow-path asymmetry physically possible."""
+        route_ns = self.params.timing.switch_route_ns
+        label = in_queue.name
+        voqs: Dict[NextHop, BoundedQueue] = {}
+        while True:
+            packet: Packet = yield in_queue.get()
+            hop = self._routes.get(packet.dst)
+            if hop is None:
+                raise RuntimeError(
+                    f"switch {self.switch_id!r} has no route to host {packet.dst} "
+                    f"(packet {packet!r})"
+                )
+            if hop not in self._outputs:
+                raise RuntimeError(
+                    f"switch {self.switch_id!r} routed to unwired hop {hop!r}"
+                )
+            yield route_ns
+            voq = voqs.get(hop)
+            if voq is None:
+                voq = BoundedQueue(
+                    self.params.sizing.switch_port_fifo,
+                    name=f"{label}.voq.{hop}",
+                )
+                voqs[hop] = voq
+                self.sim.spawn(
+                    self._voq_pump(voq, self._outputs[hop]),
+                    name=f"{label}.pump.{hop}",
+                )
+            # Blocks only when THIS destination's VOQ is full.
+            yield voq.put(packet)
+
+    def _voq_pump(self, voq: BoundedQueue, out_queue: BoundedQueue):
+        """Move one VOQ's packets into the shared buffer / output
+        queue, claiming central buffer slots."""
+        while True:
+            packet: Packet = yield voq.get()
+            token = yield self._slots.get()
+            in_use = self._slots.capacity - len(self._slots)
+            if in_use > self.peak_buffer_use:
+                self.peak_buffer_use = in_use
+            yield out_queue.put((token, packet))
+            self.packets_routed += 1
+
+    def _transmitter(self, out_queue: BoundedQueue, link_queue: BoundedQueue):
+        """Output stage: feed the outgoing link, releasing the shared
+        buffer slot once the link accepts the packet."""
+        while True:
+            token, packet = yield out_queue.get()
+            yield link_queue.put(packet)  # blocks on link credits
+            yield self._slots.put(token)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def input_ports(self) -> Dict[object, BoundedQueue]:
+        return dict(self._inputs)
+
+    def route_for(self, dst_host: int) -> Optional[NextHop]:
+        return self._routes.get(dst_host)
+
+    @property
+    def buffer_in_use(self) -> int:
+        return self._slots.capacity - len(self._slots)

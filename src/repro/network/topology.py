@@ -1,0 +1,184 @@
+"""Cluster topology builders.
+
+A :class:`Topology` is a bipartite description of the cluster: *hosts*
+(workstations, identified by integer node ids) attach to *switches*;
+switches interconnect via inter-switch cables.  The Telegraphos I
+prototype of Figure 1 is a handful of workstations hanging off one or
+two switches connected by ribbon cables — the builders here generalise
+that: single-switch star, chain, ring, and 2-D mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+
+class Topology:
+    """Hosts, switches, and the edges between them.
+
+    - ``host_attachment[node_id] -> switch_id``
+    - ``switch_edges``: set of unordered switch pairs.
+
+    Switch ids are arbitrary hashables (ints or tuples for meshes).
+    """
+
+    def __init__(self) -> None:
+        self.host_attachment: Dict[int, object] = {}
+        self.switch_ids: List[object] = []
+        self.switch_edges: Set[Tuple[object, object]] = set()
+
+    # -- construction -------------------------------------------------
+
+    def add_switch(self, switch_id: object) -> None:
+        if switch_id in self.switch_ids:
+            raise ValueError(f"duplicate switch id {switch_id!r}")
+        self.switch_ids.append(switch_id)
+
+    def attach_host(self, node_id: int, switch_id: object) -> None:
+        if node_id in self.host_attachment:
+            raise ValueError(f"host {node_id} already attached")
+        if switch_id not in self.switch_ids:
+            raise ValueError(f"unknown switch {switch_id!r}")
+        self.host_attachment[node_id] = switch_id
+
+    def connect_switches(self, a: object, b: object) -> None:
+        if a == b:
+            raise ValueError("cannot connect a switch to itself")
+        for s in (a, b):
+            if s not in self.switch_ids:
+                raise ValueError(f"unknown switch {s!r}")
+        self.switch_edges.add(self._norm_edge(a, b))
+
+    @staticmethod
+    def _norm_edge(a: object, b: object) -> Tuple[object, object]:
+        return (a, b) if repr(a) <= repr(b) else (b, a)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def hosts(self) -> List[int]:
+        return sorted(self.host_attachment)
+
+    def neighbors(self, switch_id: object) -> List[object]:
+        out = []
+        for a, b in sorted(self.switch_edges, key=repr):
+            if a == switch_id:
+                out.append(b)
+            elif b == switch_id:
+                out.append(a)
+        return out
+
+    def hosts_on(self, switch_id: object) -> List[int]:
+        return sorted(
+            node for node, sw in self.host_attachment.items() if sw == switch_id
+        )
+
+    def validate(self) -> None:
+        """Check the topology is non-empty and connected."""
+        if not self.switch_ids:
+            raise ValueError("topology has no switches")
+        if not self.host_attachment:
+            raise ValueError("topology has no hosts")
+        seen: Set[object] = set()
+        stack = [self.switch_ids[0]]
+        while stack:
+            sw = stack.pop()
+            if sw in seen:
+                continue
+            seen.add(sw)
+            stack.extend(self.neighbors(sw))
+        missing = [s for s in self.switch_ids if s not in seen]
+        if missing:
+            raise ValueError(f"topology is disconnected; unreachable: {missing}")
+
+
+def star(n_hosts: int) -> Topology:
+    """All hosts on a single switch — the minimal Figure 1 setup."""
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    topo = Topology()
+    topo.add_switch(0)
+    for node in range(n_hosts):
+        topo.attach_host(node, 0)
+    return topo
+
+
+def chain(n_switches: int, hosts_per_switch: int) -> Topology:
+    """Switches in a line, ``hosts_per_switch`` workstations each."""
+    if n_switches < 1 or hosts_per_switch < 1:
+        raise ValueError("need at least one switch and one host per switch")
+    topo = Topology()
+    node = 0
+    for s in range(n_switches):
+        topo.add_switch(s)
+        for _ in range(hosts_per_switch):
+            topo.attach_host(node, s)
+            node += 1
+    for s in range(n_switches - 1):
+        topo.connect_switches(s, s + 1)
+    return topo
+
+
+def ring(n_switches: int, hosts_per_switch: int) -> Topology:
+    """Switches in a cycle.  Routing stays deadlock-free because route
+    computation uses a spanning tree (one ring edge is unused)."""
+    if n_switches < 3:
+        raise ValueError("a ring needs at least 3 switches")
+    topo = chain(n_switches, hosts_per_switch)
+    topo.connect_switches(n_switches - 1, 0)
+    return topo
+
+
+def mesh2d(rows: int, cols: int, hosts_per_switch: int = 1) -> Topology:
+    """A rows x cols switch grid; switch ids are (row, col) tuples."""
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh dimensions must be positive")
+    topo = Topology()
+    node = 0
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_switch((r, c))
+            for _ in range(hosts_per_switch):
+                topo.attach_host(node, (r, c))
+                node += 1
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topo.connect_switches((r, c), (r, c + 1))
+            if r + 1 < rows:
+                topo.connect_switches((r, c), (r + 1, c))
+    return topo
+
+
+def by_name(name: str, n_hosts: int) -> Topology:
+    """Build a named topology sized for ``n_hosts`` workstations.
+
+    ``star`` puts everything on one switch; ``chain``/``ring`` spread
+    hosts two per switch; ``mesh`` builds the squarest grid that fits.
+    """
+    if name == "star":
+        return star(n_hosts)
+    if name == "chain":
+        switches = max(1, (n_hosts + 1) // 2)
+        topo = chain(switches, 2)
+        _trim_hosts(topo, n_hosts)
+        return topo
+    if name == "ring":
+        switches = max(3, (n_hosts + 1) // 2)
+        topo = ring(switches, 2)
+        _trim_hosts(topo, n_hosts)
+        return topo
+    if name == "mesh":
+        side = 1
+        while side * side * 2 < n_hosts:
+            side += 1
+        topo = mesh2d(side, side, 2)
+        _trim_hosts(topo, n_hosts)
+        return topo
+    raise ValueError(f"unknown topology {name!r}")
+
+
+def _trim_hosts(topo: Topology, n_hosts: int) -> None:
+    for node in list(topo.host_attachment):
+        if node >= n_hosts:
+            del topo.host_attachment[node]

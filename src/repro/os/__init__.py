@@ -1,0 +1,37 @@
+"""The systems software of the paper (§2.2): the part of Telegraphos
+that is *not* hardware.
+
+"No software is involved in performing all shared-memory operations,
+apart from the initialization phase that maps the shared pages, so
+that each processor can only access memory that is allowed to" (§5).
+This package is that initialization phase, plus the OS-side policies
+the hardware merely *informs*:
+
+- :mod:`repro.os.vm` — per-node virtual-memory management: vpage and
+  backend-page allocation, mapping construction for every kind of
+  Telegraphos page (remote windows, local shared, HIB registers,
+  contexts, shadow images).
+- :mod:`repro.os.driver` — the Telegraphos device driver: privileged
+  setup (contexts, keys, counters, multicast lists) and the
+  user-level *launch sequence builders* for special operations, in
+  both the Telegraphos I (PAL) and Telegraphos II (context) flavours.
+- :mod:`repro.os.kernel` — per-node fault and interrupt dispatch.
+- :mod:`repro.os.scheduler` — preemptive round-robin timeslicing
+  (exercises the interrupted-launch hazard of §2.2.4).
+- :mod:`repro.os.replication` — the §2.2.6 alarm-based replication
+  policy driven by page-access-counter interrupts.
+"""
+
+from repro.os.driver import TelegraphosDriver
+from repro.os.kernel import NodeOS
+from repro.os.replication import AlarmReplicationPolicy
+from repro.os.scheduler import RoundRobinScheduler
+from repro.os.vm import VirtualMemoryManager
+
+__all__ = [
+    "AlarmReplicationPolicy",
+    "NodeOS",
+    "RoundRobinScheduler",
+    "TelegraphosDriver",
+    "VirtualMemoryManager",
+]

@@ -1,0 +1,109 @@
+"""Per-node OS kernel model: fault handling, interrupt dispatch,
+shared-mapping bookkeeping.
+
+Deliberately minimal — the paper's design goal is that the OS stays
+*out* of the data path.  The kernel's remaining jobs:
+
+- page-fault dispatch (charging the §2.2.1-era fault cost): a chain of
+  registered *fixers* (the VSM baseline registers one; the default
+  outcome is killing the program, restoring the HIB's special state
+  per the §2.2.4 footnote);
+- interrupt handler registration (page-alarm → replication policy,
+  HIB protection events);
+- a registry of shared mappings per process, so the replication
+  policy can retarget them when a page gains a local copy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.machine.cpu import CPU, ProgramContext
+from repro.machine.interrupts import InterruptController
+from repro.machine.mmu import AddressSpace, PageFault
+from repro.params import Params
+
+
+#: A fixer inspects a fault and returns "retry", "kill", or None
+#: (not mine — try the next fixer).  Fixers are generators.
+Fixer = Callable[[ProgramContext, PageFault], object]
+
+
+class SharedMapping:
+    """One process's mapping of a shared page (for remap-on-replicate)."""
+
+    def __init__(self, space: AddressSpace, vpage: int, home: int, gpage: int):
+        self.space = space
+        self.vpage = vpage
+        self.home = home
+        self.gpage = gpage
+
+
+class NodeOS:
+    """The kernel of one workstation."""
+
+    def __init__(
+        self,
+        node_id: int,
+        params: Params,
+        cpu: CPU,
+        interrupts: InterruptController,
+        hib,
+    ):
+        self.node_id = node_id
+        self.params = params
+        self.cpu = cpu
+        self.interrupts = interrupts
+        self.hib = hib
+        self._fixers: List[Fixer] = []
+        self.shared_mappings: List[SharedMapping] = []
+        self.faults_handled = 0
+        self.programs_killed = 0
+        cpu.fault_handler = self._handle_fault
+
+    # -- fault path --------------------------------------------------------
+
+    def register_fixer(self, fixer: Fixer) -> None:
+        self._fixers.append(fixer)
+
+    def _handle_fault(self, ctx: ProgramContext, fault: PageFault):
+        self.faults_handled += 1
+        yield self.params.timing.os_fault_ns
+        for fixer in self._fixers:
+            verdict = yield from fixer(ctx, fault)
+            if verdict in ("retry", "kill"):
+                if verdict == "kill":
+                    self._kill(ctx)
+                return verdict
+        self._kill(ctx)
+        return "kill"
+
+    def _kill(self, ctx: ProgramContext) -> None:
+        self.programs_killed += 1
+        # §2.2.4 footnote: "the process will (probably) be terminated
+        # and the HIB will be restored into a clean state."
+        self.hib.reset_special_state()
+
+    # -- interrupts ------------------------------------------------------------
+
+    def on_interrupt(self, vector: str, handler) -> None:
+        self.interrupts.register(vector, handler)
+
+    # -- shared-mapping registry ----------------------------------------------
+
+    def note_shared_mapping(
+        self, space: AddressSpace, vaddr: int, home: int, gpage: int,
+        n_pages: int = 1,
+    ) -> None:
+        vpage = vaddr // space.amap.page_bytes
+        for i in range(n_pages):
+            self.shared_mappings.append(
+                SharedMapping(space, vpage + i, home, gpage + i)
+            )
+
+    def mappings_of(self, home: int, gpage: int) -> List[SharedMapping]:
+        return [
+            m
+            for m in self.shared_mappings
+            if m.home == home and m.gpage == gpage
+        ]

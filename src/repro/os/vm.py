@@ -1,0 +1,161 @@
+"""Per-node virtual-memory management.
+
+The OS's §2.2.1 job: "Shared data that physically reside on some
+remote workstation are mapped into physical addresses of the I/O bus
+of the workstation ... Shared data that physically reside in the local
+workstation [go to the MPM / main memory] ... Data which are not
+shared are mapped into physical addresses which correspond to the main
+memory."
+
+The manager allocates virtual pages per address space and backend
+pages node-wide, and builds the page-table entries for every mapping
+kind.  It does not decide *policy* (what to replicate, when) — that is
+:mod:`repro.os.replication`'s job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.hib.registers import Reg
+from repro.machine.addresses import AddressMap
+from repro.machine.mmu import AddressSpace, PageTableEntry
+
+
+class VirtualMemoryManager:
+    """One node's VM bookkeeping."""
+
+    #: vpage where allocation starts (leave low pages for fixed maps).
+    FIRST_DYNAMIC_VPAGE = 64
+
+    def __init__(self, amap: AddressMap, node_id: int, mpm_pages: int):
+        self.amap = amap
+        self.node_id = node_id
+        self.mpm_pages = mpm_pages
+        self._next_vpage: Dict[int, int] = {}
+        self._mpm_used: Set[int] = set()
+        self._spaces: Dict[str, AddressSpace] = {}
+
+    # -- address spaces -------------------------------------------------
+
+    def create_space(self, name: str) -> AddressSpace:
+        if name in self._spaces:
+            raise ValueError(f"address space {name!r} exists on node {self.node_id}")
+        space = AddressSpace(self.amap, name=name)
+        self._spaces[name] = space
+        self._next_vpage[id(space)] = self.FIRST_DYNAMIC_VPAGE
+        return space
+
+    def alloc_vpages(self, space: AddressSpace, n: int = 1) -> int:
+        """Reserve ``n`` consecutive virtual pages; returns first vpage."""
+        key = id(space)
+        if key not in self._next_vpage:
+            self._next_vpage[key] = self.FIRST_DYNAMIC_VPAGE
+        first = self._next_vpage[key]
+        self._next_vpage[key] = first + n
+        return first
+
+    # -- backend (MPM / shared-segment) page allocation ----------------------
+
+    def alloc_backend_pages(self, n: int = 1, at: Optional[int] = None) -> int:
+        """Reserve ``n`` consecutive local shared pages (``at`` pins a
+        specific page number, used for home pages whose global page
+        number *is* their backend page)."""
+        if at is not None:
+            pages = range(at, at + n)
+            if any(p in self._mpm_used for p in pages):
+                raise ValueError(f"backend pages {at}..{at + n - 1} already in use")
+        else:
+            start = 0
+            while True:
+                pages = range(start, start + n)
+                if all(
+                    p not in self._mpm_used and p < self.mpm_pages for p in pages
+                ):
+                    break
+                start += 1
+                if start + n > self.mpm_pages:
+                    raise RuntimeError(f"node {self.node_id}: MPM exhausted")
+            at = start
+        for p in range(at, at + n):
+            if p >= self.mpm_pages:
+                raise RuntimeError(f"node {self.node_id}: MPM exhausted")
+            self._mpm_used.add(p)
+        return at
+
+    def free_backend_page(self, page: int) -> None:
+        self._mpm_used.discard(page)
+
+    # -- mapping constructors ----------------------------------------------------
+
+    def map_remote_window(
+        self, space: AddressSpace, home: int, gpage: int, n_pages: int = 1,
+        writable: bool = True, vpage: Optional[int] = None,
+    ) -> int:
+        """Map ``n_pages`` of ``home``'s shared window; returns vaddr."""
+        first = vpage if vpage is not None else self.alloc_vpages(space, n_pages)
+        for i in range(n_pages):
+            base = self.amap.remote(home, self.amap.page_base(gpage + i))
+            space.map_page(
+                first + i,
+                PageTableEntry(
+                    base, writable=writable, shared_id=(home, gpage + i)
+                ),
+            )
+        return first * self.amap.page_bytes
+
+    def map_local_shared(
+        self, space: AddressSpace, local_page: int, n_pages: int = 1,
+        home_id: Optional[Tuple[int, int]] = None, writable: bool = True,
+        vpage: Optional[int] = None,
+    ) -> int:
+        """Map local shared pages (MPM region); returns vaddr."""
+        first = vpage if vpage is not None else self.alloc_vpages(space, n_pages)
+        for i in range(n_pages):
+            base = self.amap.mpm(self.amap.page_base(local_page + i))
+            shared = (home_id[0], home_id[1] + i) if home_id else None
+            space.map_page(
+                first + i,
+                PageTableEntry(base, writable=writable, shared_id=shared),
+            )
+        return first * self.amap.page_bytes
+
+    def map_hib_registers(self, space: AddressSpace, vpage: Optional[int] = None) -> int:
+        first = vpage if vpage is not None else self.alloc_vpages(space, 1)
+        space.map_page(first, PageTableEntry(self.amap.hib_register(0)))
+        return first * self.amap.page_bytes
+
+    def map_context_page(
+        self, space: AddressSpace, ctx_id: int, vpage: Optional[int] = None
+    ) -> int:
+        """Map one Telegraphos II context page — into exactly one
+        process's space; this mapping is the protection boundary."""
+        first = vpage if vpage is not None else self.alloc_vpages(space, 1)
+        offset = Reg.context_page_offset(ctx_id, self.amap.page_bytes)
+        space.map_page(first, PageTableEntry(self.amap.hib_register(offset)))
+        return first * self.amap.page_bytes
+
+    def map_shadow_of(self, space: AddressSpace, vaddr: int) -> int:
+        """Map the shadow image of an existing mapping (§2.2.4): same
+        translation, highest physical bit set."""
+        vpage = self.amap.page_of(vaddr)
+        entry = space.entry_for(vpage)
+        if entry is None:
+            raise ValueError(f"no mapping at vaddr 0x{vaddr:x} to shadow")
+        shadow_vpage = self.alloc_vpages(space, 1)
+        space.map_page(
+            shadow_vpage,
+            PageTableEntry(self.amap.shadow(entry.phys_base)),
+        )
+        return shadow_vpage * self.amap.page_bytes + self.amap.page_offset(vaddr)
+
+    def map_private(
+        self, space: AddressSpace, dram_page: int, n_pages: int = 1,
+        cacheable: bool = True, vpage: Optional[int] = None,
+    ) -> int:
+        """Map ordinary private memory (DRAM; Telegraphos uninvolved)."""
+        first = vpage if vpage is not None else self.alloc_vpages(space, n_pages)
+        for i in range(n_pages):
+            base = self.amap.dram(self.amap.page_base(dram_page + i))
+            space.map_page(first + i, PageTableEntry(base, cacheable=cacheable))
+        return first * self.amap.page_bytes

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+Everything in the Telegraphos reproduction — CPUs, buses, the HIB,
+links, switches, the OS model — runs on this kernel.  It provides:
+
+- :class:`~repro.sim.kernel.Simulator`: the event loop, with integer
+  nanosecond time.
+- :class:`~repro.sim.kernel.Process`: generator-coroutine processes.
+  A process is a Python generator that ``yield``\\ s *waitables* (a
+  delay in nanoseconds, a :class:`~repro.sim.kernel.Future`, another
+  process, ...) and is resumed when the waitable completes.
+- :class:`~repro.sim.kernel.Future`: one-shot completion tokens used
+  for request/response interactions (e.g. a blocking remote read).
+- :class:`~repro.sim.queues.BoundedQueue`: a FIFO with blocking put
+  and get, used to model every back-pressured buffer in the system
+  (HIB FIFOs, link credits, switch buffers).
+"""
+
+from repro.sim.kernel import (
+    Delay,
+    Future,
+    Interrupt,
+    Process,
+    SimulationDeadlock,
+    Simulator,
+    Waitable,
+)
+from repro.sim.queues import BoundedQueue, QueueClosed
+from repro.sim.trace import Accumulator, Tracer
+
+__all__ = [
+    "Accumulator",
+    "BoundedQueue",
+    "Delay",
+    "Future",
+    "Interrupt",
+    "Process",
+    "QueueClosed",
+    "SimulationDeadlock",
+    "Simulator",
+    "Tracer",
+    "Waitable",
+]

@@ -1,0 +1,428 @@
+"""The discrete-event simulation kernel.
+
+Time is an integer number of **nanoseconds**.  The kernel is a classic
+event-heap design: callbacks are scheduled at absolute times and run in
+(time, insertion-order) order, so simulations are fully deterministic.
+
+Processes are Python generators.  A process yields *waitables*:
+
+- an ``int`` (or ``float``) — resume after that many nanoseconds;
+- a :class:`Future` — resume when the future resolves, receiving its
+  value as the result of the ``yield`` expression;
+- another :class:`Process` — resume when that process finishes,
+  receiving its return value;
+- ``None`` — resume on the next scheduler pass at the same time
+  (a cooperative yield point).
+
+Failures propagate: if a future is failed with an exception, the
+exception is thrown *into* the waiting generator at the ``yield``.
+A process may also be interrupted asynchronously with
+:meth:`Process.interrupt`, which raises :class:`Interrupt` inside it —
+the mechanism used to model CPU preemption.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationDeadlock(RuntimeError):
+    """Raised by :meth:`Simulator.run` when progress was expected but the
+    event heap drained with live processes still blocked.
+
+    This is how lost-acknowledgement and buffer-cycle bugs surface in
+    tests: the simulation simply stops with someone still waiting.
+    """
+
+    def __init__(self, blocked: List["Process"]):
+        names = ", ".join(p.name for p in blocked) or "<unknown>"
+        super().__init__(f"simulation deadlock; blocked processes: {names}")
+        self.blocked = blocked
+
+
+class Interrupt(Exception):
+    """Raised inside a process by :meth:`Process.interrupt`.
+
+    The ``cause`` is whatever the interrupter supplied (for the CPU
+    model it is the preemption reason).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Waitable:
+    """Base class for things a process may ``yield`` on.
+
+    A waitable either *is already complete* (``done``) or will invoke
+    its callbacks exactly once on completion, passing
+    ``(value, exception)`` where exactly one is meaningful.
+    """
+
+    __slots__ = ("_callbacks", "_done", "_value", "_exception")
+
+    def __init__(self) -> None:
+        self._callbacks: List[Callable[[Any, Optional[BaseException]], None]] = []
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise RuntimeError("waitable is not complete")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def add_callback(
+        self, fn: Callable[[Any, Optional[BaseException]], None]
+    ) -> None:
+        """Register ``fn(value, exception)``; fires immediately if done."""
+        if self._done:
+            fn(self._value, self._exception)
+        else:
+            self._callbacks.append(fn)
+
+    def _complete(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self._done:
+            raise RuntimeError("waitable completed twice")
+        self._done = True
+        self._value = value
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(value, exception)
+
+
+class Future(Waitable):
+    """A one-shot completion token.
+
+    Created by a responder (e.g. the HIB, for a blocking read) and
+    yielded on by the requester.  Resolve with :meth:`set_result` or
+    :meth:`set_exception`.
+    """
+
+    __slots__ = ()
+
+    def set_result(self, value: Any = None) -> None:
+        self._complete(value, None)
+
+    def set_exception(self, exception: BaseException) -> None:
+        self._complete(None, exception)
+
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process(Waitable):
+    """A generator-coroutine simulation process.
+
+    Completes (as a :class:`Waitable`) with the generator's return
+    value, so processes can be joined: ``result = yield proc``.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "_waiting_on", "_started", "_wait_epoch")
+
+    def __init__(self, sim: "Simulator", gen: ProcessBody, name: str = "proc"):
+        super().__init__()
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"process body must be a generator, got {type(gen).__name__}; "
+                "did you call a plain function instead of a generator function?"
+            )
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self._waiting_on: Optional[Waitable] = None
+        self._started = False
+        # Incremented every time the process is resumed for any reason.
+        # A wakeup carrying a stale epoch (e.g. a waitable completing
+        # after the process was interrupted away from it) is ignored.
+        self._wait_epoch = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("blocked" if self._waiting_on else "ready")
+        return f"<Process {self.name} {state}>"
+
+    # -- scheduling ---------------------------------------------------
+
+    def _start(self) -> None:
+        self._started = True
+        self._step(None, None)
+
+    def _step(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self.done:
+            return
+        self._waiting_on = None
+        self._wait_epoch += 1
+        try:
+            if exception is not None:
+                command = self._gen.throw(exception)
+            else:
+                command = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except Interrupt as intr:
+            # An uncaught interrupt terminates the process quietly;
+            # its "return value" is the interrupt cause.
+            self._finish(intr.cause, None)
+            return
+        except Exception as err:
+            self._finish(None, err)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        sim = self.sim
+        epoch = self._wait_epoch
+        if command is None:
+            sim.schedule(0, self._step_if_epoch, epoch, None, None)
+        elif isinstance(command, (int, float)):
+            if command < 0:
+                self._finish(
+                    None, ValueError(f"negative delay {command!r} yielded by {self.name}")
+                )
+                return
+            sim.schedule(int(command), self._step_if_epoch, epoch, None, None)
+        elif isinstance(command, Delay):
+            sim.schedule(command.ns, self._step_if_epoch, epoch, None, None)
+        elif isinstance(command, Waitable):
+            self._waiting_on = command
+            epoch = self._wait_epoch
+
+            def resume(value: Any, exception: Optional[BaseException]) -> None:
+                if self._wait_epoch != epoch or self.done:
+                    return  # stale wakeup (process was interrupted away)
+                self.sim.schedule(0, self._step_if_epoch, epoch, value, exception)
+
+            command.add_callback(resume)
+        else:
+            self._finish(
+                None,
+                TypeError(
+                    f"process {self.name} yielded unsupported command "
+                    f"{command!r}; yield a delay, Future, or Process"
+                ),
+            )
+
+    def _step_if_epoch(
+        self, epoch: int, value: Any, exception: Optional[BaseException]
+    ) -> None:
+        # Resumption goes through the scheduler (delay 0) rather than
+        # re-entering the generator directly: keeps stacks shallow and
+        # ordering deterministic when many waiters complete at the same
+        # instant.  The epoch check drops wakeups that were overtaken
+        # by an interrupt delivered at the same instant.
+        if self._wait_epoch != epoch or self.done:
+            return
+        self._step(value, exception)
+
+    def _finish(self, value: Any, exception: Optional[BaseException]) -> None:
+        self.sim._live_processes.discard(self)
+        if exception is not None:
+            self.sim._note_failure(self, exception)
+        self._complete(value, exception)
+
+    # -- external control ----------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point.
+
+        No-op if the process already finished.  Interrupting a process
+        that is waiting on a waitable detaches it logically: when the
+        waitable later completes, the (now resumed or finished) process
+        ignores the late wakeup.
+        """
+        if self.done:
+            return
+        # Invalidate any pending wakeup from the waitable the process
+        # was blocked on; the interrupt wins.
+        self._waiting_on = None
+        self._wait_epoch += 1
+        epoch = self._wait_epoch
+        self.sim.schedule(0, self._deliver_interrupt, epoch, cause)
+
+    def _deliver_interrupt(self, epoch: int, cause: Any) -> None:
+        if self.done or self._wait_epoch != epoch:
+            return
+        self._step(None, Interrupt(cause))
+
+
+class Delay:
+    """Explicit delay command (equivalent to yielding a bare int)."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int):
+        if ns < 0:
+            raise ValueError("delay must be non-negative")
+        self.ns = int(ns)
+
+
+class _Event:
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable, args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> int:
+        return self._event.time
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        proc = sim.spawn(my_generator(), name="writer")
+        sim.run()
+        assert proc.done
+
+    ``run`` drains the event heap (optionally bounded by ``until`` in
+    nanoseconds or ``max_events``).  If ``check_deadlock`` is set and
+    the heap drains while spawned processes are still blocked,
+    :class:`SimulationDeadlock` is raised.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[_Event] = []
+        self._seq = 0
+        self._live_processes: set = set()
+        self._failures: List[Tuple[Process, BaseException]] = []
+        self.strict_failures = True
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable, *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        event = _Event(self.now + int(delay), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: int, fn: Callable, *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute time ``time``."""
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        return self.schedule(time - self.now, fn, *args)
+
+    def spawn(self, gen: ProcessBody, name: str = "proc") -> Process:
+        """Create a process from a generator and start it immediately
+        (its first step runs at the current simulation time)."""
+        process = Process(self, gen, name=name)
+        self._live_processes.add(process)
+        self.schedule(0, process._start)
+        return process
+
+    def future(self) -> Future:
+        return Future()
+
+    def timeout(self, ns: int) -> Future:
+        """A future that resolves (with ``None``) after ``ns`` nanoseconds."""
+        future = Future()
+        self.schedule(ns, future.set_result, None)
+        return future
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        check_deadlock: bool = False,
+    ) -> int:
+        """Run events until the heap drains (or a bound is hit).
+
+        Returns the number of events executed.  With ``until``, events
+        at times ``<= until`` run and ``now`` advances to ``until``.
+        """
+        executed = 0
+        heap = self._heap
+        while heap:
+            if max_events is not None and executed >= max_events:
+                break
+            event = heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            executed += 1
+            if self._failures and self.strict_failures:
+                process, error = self._failures[0]
+                raise RuntimeError(
+                    f"process {process.name!r} failed at t={self.now}ns"
+                ) from error
+        if until is not None and self.now < until:
+            self.now = until
+        if check_deadlock and not heap:
+            blocked = [p for p in self._live_processes if not p.done]
+            if blocked:
+                raise SimulationDeadlock(blocked)
+        return executed
+
+    def run_until_done(
+        self, processes: Iterable[Process], limit_ns: Optional[int] = None
+    ) -> None:
+        """Run until every process in ``processes`` has completed.
+
+        Raises :class:`SimulationDeadlock` if the heap drains first, or
+        ``TimeoutError`` if ``limit_ns`` simulated time passes first.
+        """
+        targets = list(processes)
+        while not all(p.done for p in targets):
+            if not self._heap:
+                raise SimulationDeadlock([p for p in targets if not p.done])
+            if limit_ns is not None and self.now > limit_ns:
+                waiting = ", ".join(p.name for p in targets if not p.done)
+                raise TimeoutError(
+                    f"processes still running at t={self.now}ns: {waiting}"
+                )
+            self.run(max_events=1)
+
+    # -- failure bookkeeping ------------------------------------------------
+
+    def _note_failure(self, process: Process, error: BaseException) -> None:
+        self._failures.append((process, error))
+
+    @property
+    def failures(self) -> List[Tuple[Process, BaseException]]:
+        return list(self._failures)

@@ -1,0 +1,158 @@
+"""Bounded FIFO queues with blocking put/get.
+
+Every back-pressured buffer in the Telegraphos model is one of these:
+the HIB outgoing/incoming FIFOs, link credit buffers, switch input
+queues.  Back-pressure — the paper's switches use "back-pressured flow
+control" (§2.1) — falls out naturally: a producer that ``yield``\\ s
+``queue.put(item)`` does not resume until the item has been accepted,
+and items are only accepted when there is buffer space.
+
+The queue preserves FIFO order both for items and for blocked putters/
+getters, which is what makes per-link in-order delivery provable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.kernel import Future
+
+
+class QueueClosed(RuntimeError):
+    """Raised at getters/putters when the queue is closed."""
+
+
+class BoundedQueue:
+    """A FIFO with capacity and blocking semantics.
+
+    ``put(item)`` and ``get()`` return :class:`Future`\\ s to be
+    yielded on by simulation processes::
+
+        yield queue.put(packet)      # blocks while the queue is full
+        packet = yield queue.get()   # blocks while the queue is empty
+
+    ``try_put`` / ``try_get`` are the non-blocking variants used by
+    hardware models that poll instead of stalling.
+    """
+
+    def __init__(self, capacity: int, name: str = "queue"):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        # Blocked putters hold (future, item) until space opens up.
+        self._putters: Deque[tuple] = deque()
+        self._getters: Deque[Future] = deque()
+        self._closed = False
+        # Occupancy statistics (sampled at each state change).
+        self.max_occupancy = 0
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    # -- blocking interface ------------------------------------------------
+
+    def put(self, item: Any) -> Future:
+        """Enqueue ``item``; the future resolves once it is accepted."""
+        future = Future()
+        if self._closed:
+            future.set_exception(QueueClosed(self.name))
+            return future
+        if self._getters and not self._items:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            self._account_put()
+            getter.set_result(item)
+            future.set_result(None)
+        elif not self.full:
+            self._items.append(item)
+            self._account_put()
+            future.set_result(None)
+        else:
+            self._putters.append((future, item))
+        return future
+
+    def get(self) -> Future:
+        """Dequeue the oldest item; the future resolves with it."""
+        future = Future()
+        if self._items:
+            item = self._items.popleft()
+            self._admit_blocked_putter()
+            future.set_result(item)
+        elif self._closed:
+            future.set_exception(QueueClosed(self.name))
+        else:
+            self._getters.append(future)
+        return future
+
+    # -- non-blocking interface ---------------------------------------------
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue if space is available; returns success."""
+        if self._closed:
+            raise QueueClosed(self.name)
+        if self._getters and not self._items:
+            getter = self._getters.popleft()
+            self._account_put()
+            getter.set_result(item)
+            return True
+        if self.full:
+            return False
+        self._items.append(item)
+        self._account_put()
+        return True
+
+    def try_get(self) -> Optional[Any]:
+        """Dequeue if an item is available; returns it or ``None``."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_blocked_putter()
+        return item
+
+    def peek(self) -> Optional[Any]:
+        return self._items[0] if self._items else None
+
+    def close(self) -> None:
+        """Close the queue: pending and future getters/putters fail."""
+        self._closed = True
+        while self._getters:
+            self._getters.popleft().set_exception(QueueClosed(self.name))
+        while self._putters:
+            future, _ = self._putters.popleft()
+            future.set_exception(QueueClosed(self.name))
+
+    # -- internals ------------------------------------------------------------
+
+    def _admit_blocked_putter(self) -> None:
+        if self._putters and not self.full:
+            future, item = self._putters.popleft()
+            if self._getters and not self._items:
+                getter = self._getters.popleft()
+                self._account_put()
+                getter.set_result(item)
+            else:
+                self._items.append(item)
+                self._account_put()
+            future.set_result(None)
+
+    def _account_put(self) -> None:
+        self.total_puts += 1
+        occupancy = len(self._items)
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy

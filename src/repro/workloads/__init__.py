@@ -1,0 +1,43 @@
+"""Workload generators for the experiments.
+
+Each builder assembles programs on a live cluster matching a sharing
+pattern the paper discusses:
+
+- :mod:`repro.workloads.producer_consumer` — the §2.2.7/§2.3.6
+  pattern the eager-update multicast exists for;
+- :mod:`repro.workloads.hotspot` — synchronization hot spot: every
+  node hammers one counter with remote atomics (§2.2.3);
+- :mod:`repro.workloads.migratory` — lock-protected migratory data,
+  the pattern that favours invalidate protocols (§2.3.6);
+- :mod:`repro.workloads.patterns` — deterministic random access
+  streams (uniform / hot-page skew) for the replication experiment
+  (§2.2.6).
+"""
+
+from repro.workloads.hotspot import run_hotspot_counter
+from repro.workloads.migratory import run_migratory
+from repro.workloads.patterns import AccessPattern, hot_page_stream, uniform_stream
+from repro.workloads.producer_consumer import run_producer_consumer
+from repro.workloads.traces import (
+    Trace,
+    TracePlayer,
+    TraceRecord,
+    false_sharing_trace,
+    private_pages_trace,
+    true_sharing_trace,
+)
+
+__all__ = [
+    "AccessPattern",
+    "Trace",
+    "TracePlayer",
+    "TraceRecord",
+    "false_sharing_trace",
+    "hot_page_stream",
+    "private_pages_trace",
+    "run_hotspot_counter",
+    "run_migratory",
+    "run_producer_consumer",
+    "true_sharing_trace",
+    "uniform_stream",
+]

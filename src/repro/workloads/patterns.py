@@ -1,0 +1,66 @@
+"""Deterministic access-stream generators.
+
+Seeded streams of (page, offset, is_write) accesses used by the
+replication and update-vs-invalidate experiments.  Deterministic by
+construction (explicit ``random.Random`` seeds) so every benchmark run
+is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+Access = Tuple[int, int, bool]  # (page, byte offset in page, is_write)
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """A finished access stream plus its generation parameters."""
+
+    accesses: Tuple[Access, ...]
+    n_pages: int
+    seed: int
+    description: str
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def page_counts(self) -> List[int]:
+        counts = [0] * self.n_pages
+        for page, _, _ in self.accesses:
+            counts[page] += 1
+        return counts
+
+
+def uniform_stream(n_accesses: int, n_pages: int, write_fraction: float = 0.3,
+                   page_bytes: int = 8192, seed: int = 42) -> AccessPattern:
+    """Accesses spread evenly over ``n_pages`` — no page is hot, so
+    alarm-based replication should *not* trigger at sane thresholds."""
+    rng = random.Random(seed)
+    accesses = []
+    for _ in range(n_accesses):
+        page = rng.randrange(n_pages)
+        offset = 4 * rng.randrange(page_bytes // 4)
+        accesses.append((page, offset, rng.random() < write_fraction))
+    return AccessPattern(tuple(accesses), n_pages, seed,
+                         f"uniform over {n_pages} pages")
+
+
+def hot_page_stream(n_accesses: int, n_pages: int, hot_fraction: float = 0.9,
+                    write_fraction: float = 0.1, page_bytes: int = 8192,
+                    seed: int = 42) -> AccessPattern:
+    """``hot_fraction`` of accesses hit page 0 — the page the §2.2.6
+    counters should flag for replication."""
+    rng = random.Random(seed)
+    accesses = []
+    for _ in range(n_accesses):
+        if rng.random() < hot_fraction or n_pages == 1:
+            page = 0
+        else:
+            page = 1 + rng.randrange(n_pages - 1)
+        offset = 4 * rng.randrange(page_bytes // 4)
+        accesses.append((page, offset, rng.random() < write_fraction))
+    return AccessPattern(tuple(accesses), n_pages, seed,
+                         f"{hot_fraction:.0%} of accesses on page 0")

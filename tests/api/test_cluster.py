@@ -1,0 +1,198 @@
+"""Integration tests of the public API: cluster assembly, segments,
+processes, op builders, both prototypes."""
+
+import pytest
+
+from repro.api import Cluster
+from repro.params import DEFAULT_PARAMS, Params
+
+
+def test_cluster_builds_nodes():
+    cluster = Cluster(n_nodes=3)
+    assert len(cluster) == 3
+    assert cluster.node(2).node_id == 2
+
+
+def test_cluster_needs_a_node():
+    with pytest.raises(ValueError):
+        Cluster(n_nodes=0)
+
+
+def test_quickstart_write_fence_read():
+    cluster = Cluster(n_nodes=2)
+    seg = cluster.alloc_segment(home=1, pages=1, name="data")
+    proc = cluster.create_process(node=0, name="writer")
+    base = proc.map(seg)
+    got = []
+
+    def program(p):
+        yield p.store(base, 42)
+        yield p.fence()
+        got.append((yield p.load(base)))
+
+    ctx = cluster.start(proc, program)
+    cluster.run_programs([ctx])
+    assert got == [42]
+    assert seg.peek(0) == 42
+    cluster.assert_quiescent()
+
+
+def test_segment_names_unique():
+    cluster = Cluster(n_nodes=2)
+    cluster.alloc_segment(home=0, pages=1, name="s")
+    with pytest.raises(ValueError):
+        cluster.alloc_segment(home=1, pages=1, name="s")
+    assert cluster.segment("s").home == 0
+
+
+def test_home_process_accesses_segment_locally():
+    cluster = Cluster(n_nodes=2)
+    seg = cluster.alloc_segment(home=0, pages=1, name="data")
+    proc = cluster.create_process(node=0, name="local")
+    base = proc.map(seg)
+    got = []
+
+    def program(p):
+        yield p.store(base + 8, 5)
+        got.append((yield p.load(base + 8)))
+
+    cluster.run_programs([cluster.start(proc, program)])
+    assert got == [5]
+    # No network traffic for home accesses.
+    assert cluster.node(0).hib.stats["remote_writes"] == 0
+
+
+@pytest.mark.parametrize("prototype", [1, 2])
+def test_atomics_via_api_both_prototypes(prototype):
+    params = Params(prototype=prototype)
+    cluster = Cluster(n_nodes=2, params=params)
+    seg = cluster.alloc_segment(home=1, pages=1, name="sync")
+    seg.poke(0, 10)
+    proc = cluster.create_process(node=0, name="p")
+    base = proc.map(seg)
+    got = []
+
+    def program(p):
+        got.append((yield from p.fetch_and_add(base, 5)))
+        got.append((yield from p.fetch_and_store(base + 4, 7)))
+        got.append((yield from p.compare_and_swap(base, 15, 99)))
+
+    cluster.run_programs([cluster.start(proc, program)])
+    assert got == [10, 0, 15]
+    assert seg.peek(0) == 99
+    assert seg.peek(4) == 7
+
+
+@pytest.mark.parametrize("prototype", [1, 2])
+def test_remote_copy_via_api_both_prototypes(prototype):
+    params = Params(prototype=prototype)
+    cluster = Cluster(n_nodes=2, params=params)
+    src = cluster.alloc_segment(home=1, pages=1, name="src")
+    dst = cluster.alloc_segment(home=0, pages=1, name="dst")
+    src.poke(0x20, 1234)
+    proc = cluster.create_process(node=0, name="p")
+    src_base = proc.map(src)
+    dst_base = proc.map(dst)
+
+    def program(p):
+        yield from p.remote_copy(src_base + 0x20, dst_base + 0x40)
+        yield p.fence()
+
+    cluster.run_programs([cluster.start(proc, program)])
+    assert dst.peek(0x40) == 1234
+
+
+def test_replica_mapping_with_protocol():
+    cluster = Cluster(n_nodes=3, protocol="telegraphos")
+    seg = cluster.alloc_segment(home=0, pages=1, name="shared")
+    writer = cluster.create_process(node=1, name="writer")
+    reader = cluster.create_process(node=2, name="reader")
+    wbase = writer.map(seg, mode="replica")
+    rbase = reader.map(seg, mode="replica")
+
+    def wprog(p):
+        yield p.store(wbase, 77)
+
+    ctx = cluster.start(writer, wprog)
+    cluster.run_programs([ctx])
+    # The write reached the home and the other replica.
+    assert seg.peek(0) == 77
+    got = []
+
+    def rprog(p):
+        got.append((yield p.load(rbase)))
+
+    cluster.run_programs([cluster.start(reader, rprog)])
+    assert got == [77]
+    assert not cluster.checker().subsequence_violations()
+
+
+def test_replica_preloads_existing_contents():
+    cluster = Cluster(n_nodes=2, protocol="telegraphos")
+    seg = cluster.alloc_segment(home=0, pages=1, name="shared")
+    seg.poke(0x10, 5555)
+    reader = cluster.create_process(node=1, name="reader")
+    base = reader.map(seg, mode="replica")
+    got = []
+
+    def prog(p):
+        got.append((yield p.load(base + 0x10)))
+
+    cluster.run_programs([cluster.start(reader, prog)])
+    assert got == [5555]
+
+
+def test_bad_mapping_mode_rejected():
+    cluster = Cluster(n_nodes=2)
+    seg = cluster.alloc_segment(home=0, pages=1, name="s")
+    proc = cluster.create_process(node=1, name="p")
+    with pytest.raises(ValueError):
+        proc.map(seg, mode="bogus")
+
+
+def test_multi_page_segment():
+    cluster = Cluster(n_nodes=2)
+    seg = cluster.alloc_segment(home=1, pages=3, name="big")
+    proc = cluster.create_process(node=0, name="p")
+    base = proc.map(seg)
+    page = cluster.amap.page_bytes
+
+    def program(p):
+        for i in range(3):
+            yield p.store(base + i * page, 100 + i)
+        yield p.fence()
+
+    cluster.run_programs([cluster.start(proc, program)])
+    for i in range(3):
+        assert seg.peek(i * page) == 100 + i
+
+
+def test_chain_topology_cluster_works():
+    cluster = Cluster(n_nodes=4, topology="chain")
+    seg = cluster.alloc_segment(home=3, pages=1, name="far")
+    proc = cluster.create_process(node=0, name="p")
+    base = proc.map(seg)
+
+    def program(p):
+        yield p.store(base, 1)
+        yield p.fence()
+
+    cluster.run_programs([cluster.start(proc, program)])
+    assert seg.peek(0) == 1
+
+
+def test_prototype2_uses_dram_backend():
+    cluster = Cluster(n_nodes=2, params=Params(prototype=2))
+    from repro.hib.backend import DramBackend
+
+    assert isinstance(cluster.node(0).backend, DramBackend)
+    seg = cluster.alloc_segment(home=1, pages=1, name="d")
+    proc = cluster.create_process(node=0, name="p")
+    base = proc.map(seg)
+
+    def program(p):
+        yield p.store(base, 9)
+        yield p.fence()
+
+    cluster.run_programs([cluster.start(proc, program)])
+    assert seg.peek(0) == 9

@@ -1,0 +1,107 @@
+"""Tests for the socket message-passing baseline."""
+
+from repro.baselines import SocketNetwork
+from repro.params import DEFAULT_PARAMS
+from repro.sim import Simulator
+
+
+def make_network(n=3):
+    sim = Simulator()
+    return sim, SocketNetwork(sim, DEFAULT_PARAMS, n)
+
+
+def test_send_recv_roundtrip():
+    sim, net = make_network()
+    got = []
+
+    def sender():
+        yield from net.socket(0).send(1, [10, 20, 30])
+
+    def receiver():
+        payload = yield from net.socket(1).recv()
+        got.append((payload, sim.now))
+
+    sim.spawn(sender())
+    sim.spawn(receiver())
+    sim.run()
+    assert got[0][0] == [10, 20, 30]
+    # OS-mediated: tens of microseconds even for a tiny message.
+    assert got[0][1] >= net.one_way_cost_ns(12) * 0.8
+
+
+def test_messages_ordered_per_pair():
+    sim, net = make_network()
+    got = []
+
+    def sender():
+        for i in range(5):
+            yield from net.socket(0).send(1, [i])
+
+    def receiver():
+        for _ in range(5):
+            payload = yield from net.socket(1).recv()
+            got.append(payload[0])
+
+    sim.spawn(sender())
+    sim.spawn(receiver())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_tags_demultiplex():
+    sim, net = make_network()
+    got = {}
+
+    def sender():
+        yield from net.socket(0).send(1, [111], tag="a")
+        yield from net.socket(0).send(1, [222], tag="b")
+
+    def receiver():
+        got["b"] = yield from net.socket(1).recv(tag="b")
+        got["a"] = yield from net.socket(1).recv(tag="a")
+
+    sim.spawn(sender())
+    sim.spawn(receiver())
+    sim.run()
+    assert got == {"a": [111], "b": [222]}
+
+
+def test_recv_blocks_until_message():
+    sim, net = make_network()
+    times = {}
+
+    def receiver():
+        yield from net.socket(1).recv()
+        times["recv"] = sim.now
+
+    def late_sender():
+        yield 1_000_000
+        yield from net.socket(0).send(1, [1])
+
+    sim.spawn(receiver())
+    sim.spawn(late_sender())
+    sim.run()
+    assert times["recv"] > 1_000_000
+
+
+def test_cost_scales_with_size():
+    _, net = make_network()
+    small = net.one_way_cost_ns(8)
+    large = net.one_way_cost_ns(8192)
+    assert large > small * 5
+
+
+def test_counters():
+    sim, net = make_network()
+
+    def sender():
+        yield from net.socket(0).send(1, [1])
+
+    def receiver():
+        yield from net.socket(1).recv()
+
+    sim.spawn(sender())
+    sim.spawn(receiver())
+    sim.run()
+    assert net.socket(0).sent == 1
+    assert net.socket(1).received == 1

@@ -1,0 +1,57 @@
+"""Rig extensions for coherence-protocol tests: a sharing directory,
+per-node engines, and replica placement."""
+
+import pytest
+
+from repro.coherence import CoherenceChecker, SharingDirectory, make_engine
+
+from tests.hib.conftest import Rig
+
+
+class CoherenceRig(Rig):
+    def __init__(self, n_nodes=4, params=None):
+        super().__init__(n_nodes=n_nodes, params=params)
+        self.directory = SharingDirectory(self.params.sizing.page_bytes)
+        self.engines = {}
+
+    def attach_protocol(self, protocol, cache_entries=32):
+        """Install one engine per node."""
+        for node in self.nodes:
+            engine = make_engine(
+                protocol,
+                node.node_id,
+                self.directory,
+                tracer=self.tracer,
+                cache_entries=cache_entries,
+            )
+            node.hib.coherence = engine
+            self.engines[node.node_id] = engine
+        return self.engines
+
+    def share_page(self, home, gpage, replicas):
+        """Create a group homed at (home, gpage) with ``replicas`` as
+        {node: local_page}; copies the current home contents."""
+        group = self.directory.create_group(home, gpage)
+        page_bytes = self.amap.page_bytes
+        for node_id, local_page in replicas.items():
+            self.directory.add_replica(group, node_id, local_page)
+            # The OS copies the page contents at replication time.
+            src_backend = self.node(home).backend
+            dst_backend = self.node(node_id).backend
+            for w in range(0, page_bytes, 4):
+                dst_backend.poke(
+                    local_page * page_bytes + w,
+                    src_backend.peek(gpage * page_bytes + w),
+                )
+        return group
+
+    def checker(self):
+        return CoherenceChecker(self.tracer, self.directory)
+
+    def backends(self):
+        return {n.node_id: n.backend for n in self.nodes}
+
+
+@pytest.fixture
+def crig():
+    return CoherenceRig(n_nodes=4)

@@ -1,0 +1,44 @@
+"""Unit tests for the memory-model checker primitives."""
+
+from repro.coherence.checker import contains_aba, is_subsequence
+
+
+def test_is_subsequence_basics():
+    assert is_subsequence([], [1, 2, 3])
+    assert is_subsequence([1, 3], [1, 2, 3])
+    assert is_subsequence([1, 2, 3], [1, 2, 3])
+    assert not is_subsequence([3, 1], [1, 2, 3])
+    assert not is_subsequence([1, 4], [1, 2, 3])
+    assert not is_subsequence([1], [])
+
+
+def test_is_subsequence_with_duplicates():
+    assert is_subsequence([2, 2], [2, 1, 2])
+    assert not is_subsequence([2, 2, 2], [2, 1, 2])
+
+
+def test_contains_aba_finds_121():
+    hit = contains_aba([1, 2, 1])
+    assert hit is not None
+    value, between, index = hit
+    assert value == 1
+    assert between == (2,)
+    assert index == 2
+
+
+def test_contains_aba_clean_sequences():
+    assert contains_aba([]) is None
+    assert contains_aba([1]) is None
+    assert contains_aba([1, 2, 3]) is None
+    assert contains_aba([1, 1, 2, 2]) is None  # consecutive repeats fine
+
+
+def test_contains_aba_longer_gap():
+    assert contains_aba([5, 7, 9, 5]) is not None
+
+
+def test_contains_aba_repeated_run_not_flagged():
+    # 1,2,2,1 is still A..B..A.
+    assert contains_aba([1, 2, 2, 1]) is not None
+    # 1,1,1 never flagged.
+    assert contains_aba([1, 1, 1]) is None

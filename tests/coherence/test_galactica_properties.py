@@ -1,0 +1,76 @@
+"""Property-based tests for the Galactica ring baseline: whatever the
+conflict timing, the back-off protocol must converge (that is [15]'s
+guarantee — the §2.4 criticism is only about *transient* validity)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Store, Think
+
+from tests.coherence.conftest import CoherenceRig
+
+HOME = 0
+REPLICAS = {1: 16, 2: 17, 3: 18}
+
+
+@given(
+    delays=st.tuples(
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=12),
+    ),
+    writers=st.sets(st.sampled_from([1, 2, 3]), min_size=2, max_size=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_galactica_always_converges(delays, writers):
+    rig = CoherenceRig(n_nodes=4)
+    rig.attach_protocol("galactica")
+    rig.share_page(HOME, 0, REPLICAS)
+    ctxs = []
+    for i, node in enumerate(sorted(writers)):
+        space = rig.space(node)
+        base = rig.map_mpm(space, vpage=0, local_page=REPLICAS[node])
+        delay = delays[i % len(delays)] * 500
+
+        def program(base=base, node=node, delay=delay):
+            if delay:
+                yield Think(delay)
+            yield Store(base, node * 111)
+
+        ctxs.append(rig.run_on(node, program(), space))
+    rig.run_all(*ctxs)
+    assert not rig.checker().divergent_words(rig.backends(), words_per_page=1)
+    # Everything in flight drained.
+    for node in rig.nodes:
+        assert node.hib.outstanding.count == 0
+    for engine in rig.engines.values():
+        assert not engine._in_flight
+
+
+@given(
+    rounds=st.integers(min_value=1, max_value=4),
+    gap_ns=st.integers(min_value=0, max_value=3) .map(lambda k: k * 40_000),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_galactica_spaced_writes_are_clean(rounds, gap_ns):
+    """Non-overlapping writes never trigger back-offs and the last
+    writer's value wins everywhere."""
+    rig = CoherenceRig(n_nodes=3)
+    rig.attach_protocol("galactica")
+    rig.share_page(HOME, 0, {1: 16, 2: 17})
+    last_value = {}
+    ctxs = []
+    for node in (1, 2):
+        space = rig.space(node)
+        base = rig.map_mpm(space, vpage=0, local_page={1: 16, 2: 17}[node])
+
+        def program(base=base, node=node):
+            for r in range(rounds):
+                # Strictly alternating, widely spaced writes.
+                yield Think(200_000 + r * 400_000 + node * 200_000 + gap_ns)
+                yield Store(base, node * 10 + r)
+
+        last_value[node] = node * 10 + rounds - 1
+        ctxs.append(rig.run_on(node, program(), space))
+    rig.run_all(*ctxs)
+    assert not rig.checker().divergent_words(rig.backends(), words_per_page=1)
+    assert all(e.backoffs == 0 for e in rig.engines.values())

@@ -1,0 +1,103 @@
+"""The §2.3.4 Telegraphos I claim.
+
+"In our first prototype, Telegraphos I, we have not implemented this
+cache ...  Parallel applications that have at least one
+synchronization operation between two concurrent writes will run on
+top of Telegraphos I without a problem.  Unfortunately, applications
+that have chaotic accesses may not run correctly."
+
+The no-counter protocol is our ``owner-local`` engine.  These tests
+check both halves: with a fence (the synchronization the paper
+demands) between conflicting writes, owner-local stays consistent;
+with chaotic back-to-back writes it does not — and the counter
+protocol handles the chaotic case.
+"""
+
+from repro.machine import Fence, Store, Think
+
+from tests.coherence.conftest import CoherenceRig
+
+HOME = 0
+REPLICAS = {1: 16, 2: 17}
+
+
+def run_two_writes(protocol, synchronized):
+    """Node 1 writes the same word twice; synchronized inserts the
+    §2.3.4 synchronization (a fence completes the first write's
+    reflection) between them."""
+    rig = CoherenceRig(n_nodes=3)
+    rig.attach_protocol(protocol)
+    rig.share_page(HOME, 0, REPLICAS)
+    space = rig.space(1)
+    base = rig.map_mpm(space, vpage=0, local_page=REPLICAS[1])
+
+    def program():
+        yield Store(base, 2)
+        if synchronized:
+            yield Fence()
+        yield Store(base, 3)
+
+    ctx = rig.run_on(1, program(), space)
+    rig.run_all(ctx)
+    checker = rig.checker()
+    return {
+        "violations": checker.subsequence_violations(),
+        "sequence": checker.applied_values(1, (HOME, 0, 0)),
+        "divergent": checker.divergent_words(rig.backends(), words_per_page=1),
+    }
+
+
+def test_owner_local_with_synchronization_is_correct():
+    """The paper's positive claim for Telegraphos I."""
+    result = run_two_writes("owner-local", synchronized=True)
+    assert not result["violations"]
+    assert not result["divergent"]
+    # The fence drained the first write's reflection before the
+    # second write, so the copy never went backwards.
+    assert result["sequence"] == [2, 2, 3, 3]
+
+
+def test_owner_local_chaotic_misbehaves():
+    """The paper's negative claim: chaotic (unsynchronized) writes
+    'may not run correctly' without the counters."""
+    result = run_two_writes("owner-local", synchronized=False)
+    assert result["violations"]
+    assert result["sequence"] == [2, 3, 2, 3]
+
+
+def test_counter_protocol_handles_chaotic_without_synchronization():
+    """The future-version fix: the counter cache makes the chaotic
+    case safe with no synchronization at all."""
+    result = run_two_writes("telegraphos", synchronized=False)
+    assert not result["violations"]
+    assert not result["divergent"]
+    assert result["sequence"] == [2, 3]
+
+
+def test_synchronization_cost_vs_counter_cost():
+    """The §2.3.4 trade-off is real: forcing synchronization between
+    chaotic writes costs a fence round trip per write; the counter
+    protocol costs only a CAM access."""
+    import time
+
+    def makespan(protocol, synchronized):
+        rig = CoherenceRig(n_nodes=3)
+        rig.attach_protocol(protocol)
+        rig.share_page(HOME, 0, REPLICAS)
+        space = rig.space(1)
+        base = rig.map_mpm(space, vpage=0, local_page=REPLICAS[1])
+
+        def program():
+            for i in range(10):
+                yield Store(base, i)
+                if synchronized:
+                    yield Fence()
+
+        ctx = rig.run_on(1, program(), space)
+        start = rig.sim.now
+        rig.sim.run_until_done([ctx.process])
+        return rig.sim.now - start
+
+    synced = makespan("owner-local", synchronized=True)
+    countered = makespan("telegraphos", synchronized=False)
+    assert countered < synced / 2

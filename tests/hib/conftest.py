@@ -1,0 +1,124 @@
+"""A hand-wired mini-cluster rig for HIB tests.
+
+Builds N full nodes — CPU, DRAM, memory bus, TurboChannel, HIB with an
+MPM backend, interrupt controller — on a single-switch fabric, without
+the OS layer (tests construct address spaces directly, playing the role
+of the OS mapping pages per §2.2.1).
+"""
+
+import pytest
+
+from repro.hib import HIB
+from repro.hib.backend import MpmBackend
+from repro.machine import (
+    AddressMap,
+    AddressSpace,
+    Bus,
+    CPU,
+    InterruptController,
+    PageTableEntry,
+    WordMemory,
+)
+from repro.network import Fabric
+from repro.network.topology import star
+from repro.params import DEFAULT_PARAMS
+from repro.sim import Simulator, Tracer
+
+
+class RigNode:
+    def __init__(self, sim, params, node_id, amap, fabric, tracer):
+        timing = params.timing
+        self.node_id = node_id
+        self.amap = amap
+        self.dram = WordMemory(1 << 22, name=f"dram{node_id}")
+        self.membus = Bus(sim, f"membus{node_id}", timing.membus_arb_ns)
+        self.tc_bus = Bus(sim, f"tc{node_id}", 0)
+        self.interrupts = InterruptController(sim, timing, node_id)
+        self.backend = MpmBackend(timing, params.sizing.mpm_bytes, node_id)
+        self.hib = HIB(
+            sim,
+            params,
+            node_id,
+            amap,
+            fabric.port(node_id),
+            self.tc_bus,
+            self.backend,
+            interrupts=self.interrupts,
+            tracer=tracer,
+        )
+        self.cpu = CPU(sim, params, node_id, amap, self.dram, self.membus, self.hib)
+
+
+class Rig:
+    """N nodes on one switch."""
+
+    def __init__(self, n_nodes=2, params=None):
+        self.params = params or DEFAULT_PARAMS
+        self.sim = Simulator()
+        self.amap = AddressMap(page_bytes=self.params.sizing.page_bytes)
+        self.tracer = Tracer(clock=lambda: self.sim.now, enabled=True)
+        self.fabric = Fabric(self.sim, self.params, star(n_nodes))
+        self.nodes = [
+            RigNode(self.sim, self.params, n, self.amap, self.fabric, self.tracer)
+            for n in range(n_nodes)
+        ]
+
+    def node(self, n) -> RigNode:
+        return self.nodes[n]
+
+    # -- address-space helpers (the OS's §2.2.1 mapping job) -----------
+
+    def space(self, node_id) -> AddressSpace:
+        return AddressSpace(self.amap, name=f"as{node_id}")
+
+    def map_hib_page(self, space, vpage=0):
+        """Map the HIB control-register page."""
+        space.map_page(vpage, PageTableEntry(self.amap.hib_register(0)))
+        return vpage * self.amap.page_bytes
+
+    def map_remote(self, space, vpage, home, remote_page=0, **perm):
+        """Map a window onto ``home``'s shared page ``remote_page``."""
+        base = self.amap.remote(home, self.amap.page_base(remote_page))
+        space.map_page(vpage, PageTableEntry(base, **perm))
+        return vpage * self.amap.page_bytes
+
+    def map_mpm(self, space, vpage, local_page=0, **perm):
+        base = self.amap.mpm(self.amap.page_base(local_page))
+        space.map_page(vpage, PageTableEntry(base, **perm))
+        return vpage * self.amap.page_bytes
+
+    def map_shadow_remote(self, space, vpage, home, remote_page=0):
+        """The Tg II shadow image of a remote page (§2.2.4)."""
+        base = self.amap.shadow(
+            self.amap.remote(home, self.amap.page_base(remote_page))
+        )
+        space.map_page(vpage, PageTableEntry(base))
+        return vpage * self.amap.page_bytes
+
+    def map_context_page(self, space, vpage, ctx_id):
+        from repro.hib.registers import Reg
+
+        base = self.amap.hib_register(
+            Reg.context_page_offset(ctx_id, self.amap.page_bytes)
+        )
+        space.map_page(vpage, PageTableEntry(base))
+        return vpage * self.amap.page_bytes
+
+    # -- execution ------------------------------------------------------
+
+    def run_on(self, node_id, body, space, name=None):
+        node = self.nodes[node_id]
+        return node.cpu.start_program(
+            body, space, name or f"prog{node_id}-{len(node.cpu.programs)}"
+        )
+
+    def run_all(self, *ctxs, limit_ns=None):
+        self.sim.run_until_done(
+            [c.process for c in ctxs], limit_ns=limit_ns or 10**10
+        )
+        self.sim.run()  # drain residual acks/bookkeeping
+
+
+@pytest.fixture
+def rig():
+    return Rig(n_nodes=3)

@@ -1,0 +1,142 @@
+"""Edge-path tests for the HIB: third-party copies, read-token
+limiting, reply bookkeeping, stats."""
+
+import pytest
+
+from repro.hib import Reg, SpecialOpcode
+from repro.machine import Fence, Load, PalSequence, Store
+
+from tests.hib.conftest import Rig
+
+
+def test_copy_between_two_remote_nodes(rig):
+    """Copy where neither source nor destination is local: the home of
+    the source reads it and forwards a write to the third node; the
+    origin's fence still detects completion."""
+    rig.node(1).backend.poke(0x10, 616)
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    src_base = rig.map_remote(space, vpage=1, home=1)
+    dst_base = rig.map_remote(space, vpage=2, home=2, remote_page=3)
+
+    def prog():
+        yield PalSequence([
+            Store(hib_base + Reg.SPECIAL_MODE, SpecialOpcode.REMOTE_COPY.value),
+            Store(src_base + 0x10, 0),
+            Store(dst_base + 0x20, 0),
+            Store(hib_base + Reg.SPECIAL_GO, 0),
+        ])
+        yield Fence()
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    page = rig.amap.page_bytes
+    assert rig.node(2).backend.peek(3 * page + 0x20) == 616
+    assert rig.node(0).hib.outstanding.count == 0
+
+
+def test_copy_local_to_local(rig):
+    rig.node(0).backend.poke(0x0, 5)
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    local_a = rig.map_mpm(space, vpage=1, local_page=0)
+    local_b = rig.map_mpm(space, vpage=2, local_page=1)
+
+    def prog():
+        yield PalSequence([
+            Store(hib_base + Reg.SPECIAL_MODE, SpecialOpcode.REMOTE_COPY.value),
+            Store(local_a, 0),
+            Store(local_b + 0x8, 0),
+            Store(hib_base + Reg.SPECIAL_GO, 0),
+        ])
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert rig.node(0).backend.peek(rig.amap.page_bytes + 0x8) == 5
+    # Pure local copy: no network traffic at all.
+    assert rig.node(0).hib.stats["remote_writes"] == 0
+
+
+def test_single_outstanding_read_token(rig):
+    """§2.3.5 footnote: 'there can be no more than one outstanding
+    read operation' — reads are blocking so the token pool is never
+    contended by one program, but the pool must refill (N sequential
+    reads complete)."""
+    hib = rig.node(0).hib
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=1)
+    got = []
+
+    def prog():
+        for i in range(4):
+            got.append((yield Load(base + 4 * i)))
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [0, 0, 0, 0]
+    assert len(hib._read_tokens) == 1  # the token came back each time
+
+
+def test_unknown_reply_op_id_is_fatal(rig):
+    """A reply for an operation nobody issued indicates protocol
+    corruption; the HIB refuses to continue silently."""
+    from repro.network.packet import Packet, PacketKind
+
+    rig.sim.strict_failures = False
+    pkt = Packet(PacketKind.READ_REPLY, src=1, dst=0,
+                 size_bytes=10, value=1, op_id=424242)
+
+    def inject():
+        yield rig.fabric.port(1).send(pkt)
+
+    rig.sim.spawn(inject())
+    rig.sim.run()
+    assert rig.sim.failures, "the stray reply must surface an error"
+
+
+def test_stats_counters_accumulate(rig):
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=1)
+
+    def prog():
+        yield Store(base, 1)
+        yield Load(base)
+        yield Fence()
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    stats = rig.node(0).hib.stats
+    assert stats["remote_writes"] == 1
+    assert stats["remote_reads"] == 1
+    # Home node served the write, the read, and nothing else odd.
+    assert rig.node(1).hib.stats["packets_served"] >= 2
+
+
+def test_hib_register_load_unknown_offset_fails(rig):
+    from repro.hib import LaunchError
+
+    rig.sim.strict_failures = False
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+
+    def prog():
+        yield Load(hib_base + 0x1000)  # in the register page, no such register
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.sim.run()
+    assert isinstance(ctx.process.exception, LaunchError)
+
+
+def test_hib_register_store_unknown_offset_fails(rig):
+    from repro.hib import LaunchError
+
+    rig.sim.strict_failures = False
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+
+    def prog():
+        yield Store(hib_base + Reg.NODE_ID, 7)  # read-only register
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.sim.run()
+    assert isinstance(ctx.process.exception, LaunchError)

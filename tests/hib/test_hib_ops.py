@@ -1,0 +1,470 @@
+"""End-to-end tests of the HIB datapath on a mini-cluster: remote
+write/read, fences, atomics (both launch mechanisms), remote copy,
+page-counter alarms, raw multicast."""
+
+import pytest
+
+from repro.hib import Reg, SpecialOpcode
+from repro.machine import Fence, Load, PalSequence, Store, Think
+from repro.machine.cpu import ProtectionViolation
+
+from tests.hib.conftest import Rig
+
+
+# ---------------------------------------------------------------------------
+# Remote write / read (§2.2.1)
+# ---------------------------------------------------------------------------
+
+
+def test_remote_write_lands_in_home_mpm(rig):
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=1, remote_page=0)
+
+    def prog():
+        yield Store(base + 0x40, 1234)
+        yield Fence()
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert rig.node(1).backend.peek(0x40) == 1234
+
+
+def test_remote_write_is_acknowledged_back_to_zero_outstanding(rig):
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=1)
+
+    def prog():
+        for i in range(5):
+            yield Store(base + 4 * i, i)
+        yield Fence()
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    hib = rig.node(0).hib
+    assert hib.outstanding.count == 0
+    assert hib.outstanding.total_issued == 5
+    assert hib.stats["remote_writes"] == 5
+
+
+def test_remote_read_returns_home_value(rig):
+    rig.node(1).backend.poke(0x80, 777)
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=1)
+    got = []
+
+    def prog():
+        got.append((yield Load(base + 0x80)))
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [777]
+    assert rig.node(0).hib.stats["remote_reads"] == 1
+
+
+def test_read_own_write_roundtrip(rig):
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=2)
+    got = []
+
+    def prog():
+        yield Store(base, 42)
+        yield Fence()  # write completion before the read
+        got.append((yield Load(base)))
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [42]
+
+
+def test_remote_write_much_faster_than_remote_read(rig):
+    """The §3.2 asymmetry: a write completes at the local HIB; a read
+    blocks for the whole round trip."""
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=1)
+    marks = {}
+
+    def prog():
+        start = rig.sim.now
+        yield Store(base, 1)
+        marks["write"] = rig.sim.now - start
+        yield Fence()
+        start = rig.sim.now
+        yield Load(base)
+        marks["read"] = rig.sim.now - start
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert marks["read"] > 4 * marks["write"]
+
+
+def test_fence_blocks_until_writes_complete(rig):
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=1)
+    marks = {}
+
+    def prog():
+        for i in range(20):
+            yield Store(base + 4 * i, i)
+        marks["issued"] = rig.sim.now
+        yield Fence()
+        marks["fenced"] = rig.sim.now
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    # 20 writes were buffered; the fence had to wait for their acks.
+    assert marks["fenced"] > marks["issued"]
+    assert rig.node(0).hib.outstanding.count == 0
+
+
+def test_local_mpm_store_and_load(rig):
+    space = rig.space(0)
+    base = rig.map_mpm(space, vpage=0, local_page=0)
+    got = []
+
+    def prog():
+        yield Store(base + 8, 55)
+        got.append((yield Load(base + 8)))
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [55]
+    assert rig.node(0).backend.peek(8) == 55
+
+
+def test_write_to_readonly_remote_page_faults(rig):
+    """Protection is the MMU's job (§2.2): no write permission, no
+    remote write."""
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=1, writable=False)
+    outcome = []
+
+    def prog():
+        try:
+            yield Store(base, 1)
+        except ProtectionViolation:
+            outcome.append("faulted")
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert outcome == ["faulted"]
+    assert rig.node(1).backend.peek(0) == 0
+
+
+# ---------------------------------------------------------------------------
+# HIB registers
+# ---------------------------------------------------------------------------
+
+
+def test_node_id_and_outstanding_registers(rig):
+    space = rig.space(1)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    got = []
+
+    def prog():
+        got.append((yield Load(hib_base + Reg.NODE_ID)))
+        got.append((yield Load(hib_base + Reg.OUTSTANDING)))
+
+    ctx = rig.run_on(1, prog(), space)
+    rig.run_all(ctx)
+    assert got == [1, 0]
+
+
+def test_fence_register_equivalent_to_fence_op(rig):
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    base = rig.map_remote(space, vpage=1, home=1)
+    got = []
+
+    def prog():
+        yield Store(base, 9)
+        got.append((yield Load(hib_base + Reg.FENCE)))
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [0]
+    assert rig.node(0).hib.outstanding.count == 0
+
+
+# ---------------------------------------------------------------------------
+# Telegraphos I special mode + PAL launches (§2.2.4)
+# ---------------------------------------------------------------------------
+
+
+def tg1_atomic(hib_base, opcode, target_vaddr, *operand_stores):
+    """Build the Tg I PAL launch sequence for an atomic."""
+    ops = [Store(hib_base + Reg.SPECIAL_MODE, opcode.value)]
+    ops.extend(Store(target_vaddr, v) for v in operand_stores)
+    ops.append(Load(hib_base + Reg.SPECIAL_RESULT))
+    return PalSequence(ops)
+
+
+def test_tg1_fetch_and_add_remote(rig):
+    rig.node(1).backend.poke(0x100, 10)
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    base = rig.map_remote(space, vpage=1, home=1)
+    got = []
+
+    def prog():
+        got.append(
+            (yield tg1_atomic(hib_base, SpecialOpcode.FETCH_AND_ADD, base + 0x100, 5))
+        )
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [10]  # fetch returns the old value
+    assert rig.node(1).backend.peek(0x100) == 15
+
+
+def test_tg1_fetch_and_add_is_atomic_under_contention(rig):
+    """Two nodes increment the same remote word concurrently; no
+    update is lost (the §2.2.3 synchronization claim)."""
+    target_home = 2
+    per_node = 10
+    ctxs = []
+    for node in (0, 1):
+        space = rig.space(node)
+        hib_base = rig.map_hib_page(space, vpage=0)
+        base = rig.map_remote(space, vpage=1, home=target_home)
+
+        def prog(hib_base=hib_base, base=base):
+            for _ in range(per_node):
+                yield tg1_atomic(
+                    hib_base, SpecialOpcode.FETCH_AND_ADD, base + 0x200, 1
+                )
+
+        ctxs.append(rig.run_on(node, prog(), space))
+    rig.run_all(*ctxs)
+    assert rig.node(target_home).backend.peek(0x200) == 2 * per_node
+
+
+def test_tg1_fetch_and_store(rig):
+    rig.node(1).backend.poke(0x0, 111)
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    base = rig.map_remote(space, vpage=1, home=1)
+    got = []
+
+    def prog():
+        got.append(
+            (yield tg1_atomic(hib_base, SpecialOpcode.FETCH_AND_STORE, base, 222))
+        )
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [111]
+    assert rig.node(1).backend.peek(0) == 222
+
+
+def test_tg1_compare_and_swap(rig):
+    rig.node(1).backend.poke(0x0, 5)
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    base = rig.map_remote(space, vpage=1, home=1)
+    got = []
+
+    def prog():
+        # Success: 5 -> 9.
+        got.append(
+            (yield tg1_atomic(hib_base, SpecialOpcode.COMPARE_AND_SWAP, base, 5, 9))
+        )
+        # Failure: comparand stale.
+        got.append(
+            (yield tg1_atomic(hib_base, SpecialOpcode.COMPARE_AND_SWAP, base, 5, 13))
+        )
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [5, 9]
+    assert rig.node(1).backend.peek(0) == 9
+
+
+def test_tg1_atomic_on_local_mpm(rig):
+    rig.node(0).backend.poke(0x10, 100)
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    base = rig.map_mpm(space, vpage=1, local_page=0)
+    got = []
+
+    def prog():
+        got.append(
+            (yield tg1_atomic(hib_base, SpecialOpcode.FETCH_AND_ADD, base + 0x10, 1))
+        )
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [100]
+    assert rig.node(0).backend.peek(0x10) == 101
+
+
+def test_tg1_special_mode_store_is_not_performed(rig):
+    """§2.2.4: in special mode the HIB 'does not perform the remote
+    read/write operations requested by its local processor' — the
+    argument store must not write memory."""
+    rig.node(1).backend.poke(0x0, 1)
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    base = rig.map_remote(space, vpage=1, home=1)
+
+    def prog():
+        yield tg1_atomic(hib_base, SpecialOpcode.FETCH_AND_ADD, base, 0)
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    # fetch_add of 0: value unchanged; crucially never overwritten
+    # with the operand (0) by a spurious remote write.
+    assert rig.node(1).backend.peek(0) == 1
+    assert rig.node(0).hib.stats["remote_writes"] == 0
+
+
+def test_tg1_remote_copy_prefetch(rig):
+    """Remote copy (§2.2.2): non-blocking fetch of a remote word into
+    local MPM."""
+    rig.node(1).backend.poke(0x30, 4242)
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    remote_base = rig.map_remote(space, vpage=1, home=1)
+    local_base = rig.map_mpm(space, vpage=2, local_page=1)
+    marks = {}
+
+    def prog():
+        start = rig.sim.now
+        yield PalSequence(
+            [
+                Store(hib_base + Reg.SPECIAL_MODE, SpecialOpcode.REMOTE_COPY.value),
+                Store(remote_base + 0x30, 0),
+                Store(local_base + 0x50, 0),
+                Store(hib_base + Reg.SPECIAL_GO, 0),
+            ]
+        )
+        marks["launch"] = rig.sim.now - start
+        yield Fence()
+        marks["complete"] = rig.sim.now - start
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    local_page_bytes = rig.amap.page_bytes
+    assert rig.node(0).backend.peek(local_page_bytes + 0x50) == 4242
+    # Launch returned well before completion: it is non-blocking.
+    assert marks["launch"] < marks["complete"]
+
+
+def test_tg1_copy_local_to_remote(rig):
+    rig.node(0).backend.poke(0x0, 31)
+    space = rig.space(0)
+    hib_base = rig.map_hib_page(space, vpage=0)
+    remote_base = rig.map_remote(space, vpage=1, home=2)
+    local_base = rig.map_mpm(space, vpage=2, local_page=0)
+
+    def prog():
+        yield PalSequence(
+            [
+                Store(hib_base + Reg.SPECIAL_MODE, SpecialOpcode.REMOTE_COPY.value),
+                Store(local_base, 0),
+                Store(remote_base + 0x8, 0),
+                Store(hib_base + Reg.SPECIAL_GO, 0),
+            ]
+        )
+        yield Fence()
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert rig.node(2).backend.peek(0x8) == 31
+
+
+# ---------------------------------------------------------------------------
+# Page access counters (§2.2.6)
+# ---------------------------------------------------------------------------
+
+
+def test_page_counter_alarm_interrupt(rig):
+    alarms = []
+
+    def handler(payload):
+        alarms.append(payload)
+        yield 0
+
+    rig.node(0).interrupts.register("page_alarm", handler)
+    rig.node(0).hib.page_counters.set_counter((1, 0), "write", 3)
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=1, remote_page=0)
+
+    def prog():
+        for i in range(5):
+            yield Store(base + 4 * i, i)
+        yield Fence()
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert len(alarms) == 1
+    assert alarms[0]["page"] == (1, 0)
+    assert alarms[0]["kind"] == "write"
+    # Lifetime totals keep counting past the alarm.
+    assert rig.node(0).hib.page_counters.write_accesses[(1, 0)] == 5
+
+
+def test_read_and_write_counters_separate(rig):
+    hib = rig.node(0).hib
+    hib.page_counters.set_counter((1, 0), "read", 10)
+    hib.page_counters.set_counter((1, 0), "write", 10)
+    space = rig.space(0)
+    base = rig.map_remote(space, vpage=0, home=1)
+
+    def prog():
+        yield Store(base, 1)
+        yield Load(base)
+        yield Load(base)
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert hib.page_counters.read_counter((1, 0), "read") == 8
+    assert hib.page_counters.read_counter((1, 0), "write") == 9
+
+
+# ---------------------------------------------------------------------------
+# Raw eager-update multicast (§2.2.7)
+# ---------------------------------------------------------------------------
+
+
+def test_multicast_forwards_local_writes_to_all_destinations(rig):
+    hib = rig.node(0).hib
+    hib.multicast.map_out(local_page=0, node=1, remote_page=2)
+    hib.multicast.map_out(local_page=0, node=2, remote_page=3)
+    space = rig.space(0)
+    base = rig.map_mpm(space, vpage=0, local_page=0)
+
+    def prog():
+        yield Store(base + 0x20, 99)
+        yield Fence()
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    page = rig.amap.page_bytes
+    assert rig.node(0).backend.peek(0x20) == 99          # local copy
+    assert rig.node(1).backend.peek(2 * page + 0x20) == 99
+    assert rig.node(2).backend.peek(3 * page + 0x20) == 99
+    assert hib.stats["multicast_updates"] == 2
+
+
+def test_multicast_unmapped_page_stays_local(rig):
+    space = rig.space(0)
+    base = rig.map_mpm(space, vpage=0, local_page=1)
+
+    def prog():
+        yield Store(base, 7)
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert rig.node(0).hib.stats["multicast_updates"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Reset / recovery
+# ---------------------------------------------------------------------------
+
+
+def test_reset_special_state_clears_armed_mode(rig):
+    hib = rig.node(0).hib
+    hib.special1.arm(SpecialOpcode.FETCH_AND_ADD.value)
+    hib.reset_special_state()
+    assert not hib.special1.armed

@@ -1,0 +1,217 @@
+"""Telegraphos II launches: contexts + keys + shadow addressing
+(§2.2.4, §2.2.5) — including the interruption-resilience property
+that distinguishes Tg II from Tg I's PAL approach."""
+
+from repro.hib import Reg, SpecialOpcode
+from repro.machine import Load, Store, Think
+
+from tests.hib.conftest import Rig
+
+
+def setup_context(rig, node, ctx_id, key):
+    rig.node(node).hib.assign_context(ctx_id, key)
+
+
+def tg2_launch_ops(ctx_base, shadow_vaddr, ctx_id, key, opcode, operands):
+    """The uncached-write sequence of §2.2.4, as separate ops (no PAL
+    needed — that's the point of contexts)."""
+    ops = [Store(ctx_base + Reg.CTX_OPCODE, opcode.value)]
+    for i, operand in enumerate(operands):
+        reg = Reg.CTX_OPERAND0 if i == 0 else Reg.CTX_OPERAND1
+        ops.append(Store(ctx_base + reg, operand))
+    ops.append(Store(shadow_vaddr, Reg.shadow_argument(ctx_id, key)))
+    ops.append(Load(ctx_base + Reg.CTX_GO))
+    return ops
+
+
+def test_tg2_fetch_and_add(rig):
+    rig.node(1).backend.poke(0x100, 50)
+    setup_context(rig, node=0, ctx_id=2, key=0xABCDE)
+    space = rig.space(0)
+    ctx_base = rig.map_context_page(space, vpage=0, ctx_id=2)
+    rig.map_remote(space, vpage=1, home=1)
+    shadow_base = rig.map_shadow_remote(space, vpage=2, home=1)
+    got = []
+
+    def prog():
+        for op in tg2_launch_ops(
+            ctx_base,
+            shadow_base + 0x100,
+            ctx_id=2,
+            key=0xABCDE,
+            opcode=SpecialOpcode.FETCH_AND_ADD,
+            operands=[7],
+        ):
+            result = yield op
+        got.append(result)
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [50]
+    assert rig.node(1).backend.peek(0x100) == 57
+
+
+def test_tg2_compare_and_swap(rig):
+    rig.node(1).backend.poke(0x0, 3)
+    setup_context(rig, node=0, ctx_id=0, key=0x11)
+    space = rig.space(0)
+    ctx_base = rig.map_context_page(space, vpage=0, ctx_id=0)
+    shadow_base = rig.map_shadow_remote(space, vpage=1, home=1)
+    got = []
+
+    def prog():
+        for op in tg2_launch_ops(
+            ctx_base, shadow_base, 0, 0x11, SpecialOpcode.COMPARE_AND_SWAP, [3, 8]
+        ):
+            result = yield op
+        got.append(result)
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [3]
+    assert rig.node(1).backend.peek(0) == 8
+
+
+def test_tg2_wrong_key_is_rejected_with_protection_event(rig):
+    """§2.2.5: 'Only processes that know the key that corresponds to a
+    specific context can write physical addresses into that
+    context.'"""
+    setup_context(rig, node=0, ctx_id=1, key=0x777)
+    space = rig.space(0)
+    shadow_base = rig.map_shadow_remote(space, vpage=0, home=1)
+    protections = []
+
+    def handler(payload):
+        protections.append(payload)
+        yield 0
+
+    rig.node(0).interrupts.register("hib_protection", handler)
+
+    def prog():
+        yield Store(shadow_base, Reg.shadow_argument(1, 0x666))  # wrong key
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert rig.node(0).hib.contexts[1].addresses == []
+    assert len(protections) == 1
+
+
+def test_tg2_unassigned_context_rejects_shadow_stores(rig):
+    space = rig.space(0)
+    shadow_base = rig.map_shadow_remote(space, vpage=0, home=1)
+
+    def prog():
+        yield Store(shadow_base, Reg.shadow_argument(3, 0x0))
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert rig.node(0).hib.contexts[3].addresses == []
+
+
+def test_tg2_out_of_range_context_id_ignored(rig):
+    space = rig.space(0)
+    shadow_base = rig.map_shadow_remote(space, vpage=0, home=1)
+    n_contexts = len(rig.node(0).hib.contexts)
+
+    def prog():
+        yield Store(shadow_base, Reg.shadow_argument(n_contexts + 1, 0))
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    events = rig.tracer.select("protection", node=0)
+    assert len(events) == 1
+
+
+def test_tg2_launch_survives_preemption(rig):
+    """§2.2.4: 'If an application gets interrupted while launching a
+    special operation, the Telegraphos contexts preserve their
+    contents, so that the special operation will be launched when the
+    application is resumed.'
+
+    Program A is preempted mid-launch; program B runs (using its *own*
+    context) to completion; A resumes and its launch still succeeds.
+    """
+    rig.node(1).backend.poke(0x0, 100)    # A's target
+    rig.node(1).backend.poke(0x40, 200)   # B's target
+    setup_context(rig, node=0, ctx_id=0, key=0xAAAAA)
+    setup_context(rig, node=0, ctx_id=1, key=0xBBBBB)
+
+    space_a = rig.space(0)
+    ctx_base_a = rig.map_context_page(space_a, vpage=0, ctx_id=0)
+    shadow_a = rig.map_shadow_remote(space_a, vpage=1, home=1)
+
+    space_b = rig.space(0)
+    ctx_base_b = rig.map_context_page(space_b, vpage=0, ctx_id=1)
+    shadow_b = rig.map_shadow_remote(space_b, vpage=1, home=1)
+
+    results = {}
+
+    def prog_a():
+        yield Store(ctx_base_a + Reg.CTX_OPCODE, SpecialOpcode.FETCH_AND_ADD.value)
+        yield Store(ctx_base_a + Reg.CTX_OPERAND0, 1)
+        yield Store(shadow_a, Reg.shadow_argument(0, 0xAAAAA))
+        # <-- preemption lands in this window (see schedule below)
+        yield Think(20_000)
+        results["a"] = yield Load(ctx_base_a + Reg.CTX_GO)
+
+    def prog_b():
+        for op in tg2_launch_ops(
+            ctx_base_b, shadow_b + 0x40, 1, 0xBBBBB, SpecialOpcode.FETCH_AND_ADD, [2]
+        ):
+            result = yield op
+        results["b"] = result
+
+    cpu = rig.node(0).cpu
+    ctx_a = rig.run_on(0, prog_a(), space_a, name="a")
+    ctx_b = rig.run_on(0, prog_b(), space_b, name="b")
+    # Preempt A for B after its shadow store, before its GO.
+    rig.sim.schedule(5_000, cpu.switch_to, ctx_b)
+    rig.run_all(ctx_a, ctx_b)
+    assert results["b"] == 200
+    assert results["a"] == 100
+    assert rig.node(1).backend.peek(0x0) == 101
+    assert rig.node(1).backend.peek(0x40) == 202
+
+
+def test_tg2_context_status_counts_latched_addresses(rig):
+    setup_context(rig, node=0, ctx_id=0, key=0x1)
+    space = rig.space(0)
+    ctx_base = rig.map_context_page(space, vpage=0, ctx_id=0)
+    shadow_base = rig.map_shadow_remote(space, vpage=1, home=1)
+    got = []
+
+    def prog():
+        got.append((yield Load(ctx_base + Reg.CTX_STATUS)))
+        yield Store(shadow_base, Reg.shadow_argument(0, 0x1))
+        got.append((yield Load(ctx_base + Reg.CTX_STATUS)))
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert got == [0, 1]
+
+
+def test_tg2_remote_copy_via_context(rig):
+    rig.node(1).backend.poke(0x60, 909)
+    setup_context(rig, node=0, ctx_id=0, key=0x5)
+    space = rig.space(0)
+    ctx_base = rig.map_context_page(space, vpage=0, ctx_id=0)
+    shadow_remote = rig.map_shadow_remote(space, vpage=1, home=1)
+    # Shadow of the local MPM destination page.
+    from repro.machine import PageTableEntry
+
+    space.map_page(
+        2, PageTableEntry(rig.amap.shadow(rig.amap.mpm(rig.amap.page_base(4))))
+    )
+    shadow_local = 2 * rig.amap.page_bytes
+    from repro.machine import Fence
+
+    def prog():
+        yield Store(ctx_base + Reg.CTX_OPCODE, SpecialOpcode.REMOTE_COPY.value)
+        yield Store(shadow_remote + 0x60, Reg.shadow_argument(0, 0x5))
+        yield Store(shadow_local + 0x8, Reg.shadow_argument(0, 0x5))
+        yield Store(ctx_base + Reg.CTX_GO, 0)  # non-blocking GO
+        yield Fence()
+
+    ctx = rig.run_on(0, prog(), space)
+    rig.run_all(ctx)
+    assert rig.node(0).backend.peek(4 * rig.amap.page_bytes + 0x8) == 909

@@ -1,0 +1,125 @@
+"""Unit and property tests for the physical address map."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import AddressMap, Region
+
+
+@pytest.fixture
+def amap():
+    return AddressMap()
+
+
+def test_dram_roundtrip(amap):
+    phys = amap.dram(0x1234)
+    d = amap.decode(phys)
+    assert d.region is Region.DRAM
+    assert d.offset == 0x1234
+    assert d.node is None
+    assert not d.shadow
+
+
+def test_remote_encodes_node_in_high_bits(amap):
+    phys = amap.remote(5, 0x100)
+    d = amap.decode(phys)
+    assert d.region is Region.REMOTE
+    assert d.node == 5
+    assert d.offset == 0x100
+    # Same offset, different node: differs only above the offset bits.
+    other = amap.remote(6, 0x100)
+    assert (phys ^ other) >> AddressMap.NODE_SHIFT != 0
+    assert (phys ^ other) & AddressMap.OFFSET_MASK == 0
+
+
+def test_hib_register_region(amap):
+    d = amap.decode(amap.hib_register(0x40))
+    assert d.region is Region.HIB
+    assert d.offset == 0x40
+
+
+def test_mpm_region(amap):
+    d = amap.decode(amap.mpm(0x2000))
+    assert d.region is Region.MPM
+    assert d.offset == 0x2000
+
+
+def test_shadow_differs_only_in_highest_bit(amap):
+    """§2.2.4: 'An address differs from its shadow only in the
+    highest bit.'"""
+    phys = amap.remote(3, 0x888)
+    shadow = amap.shadow(phys)
+    assert shadow ^ phys == AddressMap.SHADOW_BIT
+    assert amap.unshadow(shadow) == phys
+    d = amap.decode(shadow)
+    assert d.shadow
+    assert d.region is Region.REMOTE
+    assert d.node == 3
+    assert d.offset == 0x888
+
+
+def test_offset_bounds_checked(amap):
+    with pytest.raises(ValueError):
+        amap.remote(0, AddressMap.WINDOW_BYTES)
+    with pytest.raises(ValueError):
+        amap.dram(-1)
+
+
+def test_node_bounds_checked(amap):
+    with pytest.raises(ValueError):
+        amap.remote(AddressMap.NODE_MASK + 1, 0)
+
+
+def test_decode_out_of_range(amap):
+    with pytest.raises(ValueError):
+        amap.decode(1 << AddressMap.PHYS_BITS)
+    with pytest.raises(ValueError):
+        amap.decode(-1)
+
+
+def test_word_alignment_helpers(amap):
+    assert amap.word_aligned(0x13) == 0x10
+    assert amap.is_word_aligned(0x14)
+    assert not amap.is_word_aligned(0x15)
+
+
+def test_page_helpers(amap):
+    assert amap.page_of(0) == 0
+    assert amap.page_of(8192) == 1
+    assert amap.page_base(2) == 16384
+    assert amap.page_offset(8200) == 8
+    assert amap.same_page(0, 8191)
+    assert not amap.same_page(8191, 8192)
+
+
+@given(
+    region=st.sampled_from([Region.DRAM, Region.HIB, Region.MPM]),
+    offset=st.integers(min_value=0, max_value=AddressMap.OFFSET_MASK),
+)
+def test_property_encode_decode_roundtrip(region, offset):
+    amap = AddressMap()
+    encode = {
+        Region.DRAM: amap.dram,
+        Region.HIB: amap.hib_register,
+        Region.MPM: amap.mpm,
+    }[region]
+    d = amap.decode(encode(offset))
+    assert d.region is region
+    assert d.offset == offset
+
+
+@given(
+    node=st.integers(min_value=0, max_value=AddressMap.NODE_MASK),
+    offset=st.integers(min_value=0, max_value=AddressMap.OFFSET_MASK),
+    shadowed=st.booleans(),
+)
+def test_property_remote_roundtrip_with_shadow(node, offset, shadowed):
+    amap = AddressMap()
+    phys = amap.remote(node, offset)
+    if shadowed:
+        phys = amap.shadow(phys)
+    d = amap.decode(phys)
+    assert d.node == node
+    assert d.offset == offset
+    assert d.shadow == shadowed

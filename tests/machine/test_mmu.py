@@ -1,0 +1,185 @@
+"""Unit tests for page tables, TLB, and protection."""
+
+import pytest
+
+from repro.machine import (
+    MMU,
+    AddressMap,
+    AddressSpace,
+    PageFault,
+    PageTableEntry,
+    TLB,
+)
+
+
+@pytest.fixture
+def amap():
+    return AddressMap()
+
+
+def make_space(amap, vpage=0, phys_base=None, **perm):
+    space = AddressSpace(amap, name="test")
+    space.map_page(vpage, PageTableEntry(phys_base or amap.dram(0), **perm))
+    return space
+
+
+def test_translate_maps_offset(amap):
+    space = make_space(amap, vpage=2, phys_base=amap.dram(0x4000))
+    vaddr = 2 * amap.page_bytes + 0x10
+    assert space.physical(vaddr, is_write=False) == amap.dram(0x4010)
+
+
+def test_unmapped_page_faults(amap):
+    space = AddressSpace(amap)
+    with pytest.raises(PageFault, match="not mapped"):
+        space.translate(0, is_write=False)
+
+
+def test_write_to_readonly_faults(amap):
+    space = make_space(amap, writable=False)
+    with pytest.raises(PageFault, match="read-only"):
+        space.translate(0, is_write=True)
+    # Reads still allowed.
+    space.translate(0, is_write=False)
+
+
+def test_unreadable_page_faults(amap):
+    space = make_space(amap, readable=False)
+    with pytest.raises(PageFault, match="unreadable"):
+        space.translate(4, is_write=False)
+
+
+def test_protect_page_changes_permissions(amap):
+    space = make_space(amap)
+    space.protect_page(0, writable=False)
+    with pytest.raises(PageFault):
+        space.translate(0, is_write=True)
+    space.protect_page(0, writable=True)
+    space.translate(0, is_write=True)
+
+
+def test_protect_unmapped_page_raises(amap):
+    space = AddressSpace(amap)
+    with pytest.raises(KeyError):
+        space.protect_page(0, writable=False)
+
+
+def test_unmap_page(amap):
+    space = make_space(amap)
+    space.unmap_page(0)
+    with pytest.raises(PageFault):
+        space.translate(0, is_write=False)
+
+
+def test_version_bumps_on_changes(amap):
+    space = AddressSpace(amap)
+    v0 = space.version
+    space.map_page(0, PageTableEntry(amap.dram(0)))
+    assert space.version > v0
+    v1 = space.version
+    space.protect_page(0, writable=False)
+    assert space.version > v1
+
+
+def test_mapped_vpages(amap):
+    space = AddressSpace(amap)
+    space.map_page(3, PageTableEntry(amap.dram(0)))
+    space.map_page(1, PageTableEntry(amap.dram(8192)))
+    assert space.mapped_vpages() == [1, 3]
+
+
+def test_shared_id_annotation(amap):
+    space = AddressSpace(amap)
+    entry = PageTableEntry(amap.remote(2, 0), shared_id=(2, 0))
+    space.map_page(0, entry)
+    assert space.entry_for(0).shared_id == (2, 0)
+
+
+# -- TLB -----------------------------------------------------------------
+
+
+def test_tlb_hit_after_fill():
+    tlb = TLB(capacity=4)
+    assert not tlb.access(0, version=1)
+    assert tlb.access(0, version=1)
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_tlb_version_change_misses():
+    """A page-table change (new version) invalidates cached entries —
+    models TLB shootdown on map/protect changes."""
+    tlb = TLB(capacity=4)
+    tlb.access(0, version=1)
+    assert not tlb.access(0, version=2)
+
+
+def test_tlb_lru_eviction():
+    tlb = TLB(capacity=2)
+    tlb.access(0, 1)
+    tlb.access(1, 1)
+    tlb.access(0, 1)      # refresh 0; LRU is now 1
+    tlb.access(2, 1)      # evicts 1
+    assert tlb.access(0, 1)
+    assert not tlb.access(1, 1)
+
+
+def test_tlb_flush():
+    tlb = TLB(capacity=4)
+    tlb.access(0, 1)
+    tlb.flush()
+    assert not tlb.access(0, 1)
+
+
+def test_tlb_capacity_validation():
+    with pytest.raises(ValueError):
+        TLB(capacity=0)
+
+
+def test_tlb_hit_rate():
+    tlb = TLB(capacity=4)
+    assert tlb.hit_rate == 0.0
+    tlb.access(0, 1)
+    tlb.access(0, 1)
+    assert tlb.hit_rate == 0.5
+
+
+# -- MMU ------------------------------------------------------------------
+
+
+def test_mmu_requires_active_space(amap):
+    mmu = MMU(amap)
+    with pytest.raises(RuntimeError):
+        mmu.translate(0, is_write=False)
+
+
+def test_mmu_translate_and_tlb(amap):
+    mmu = MMU(amap)
+    space = make_space(amap)
+    mmu.activate(space)
+    phys, pte, hit = mmu.translate(0x10, is_write=False)
+    assert phys == amap.dram(0x10)
+    assert not hit
+    _, _, hit2 = mmu.translate(0x14, is_write=False)
+    assert hit2  # same page, same version
+
+
+def test_mmu_context_switch_flushes_tlb(amap):
+    mmu = MMU(amap)
+    a = make_space(amap)
+    b = make_space(amap)
+    mmu.activate(a)
+    mmu.translate(0, is_write=False)
+    mmu.activate(b)
+    _, _, hit = mmu.translate(0, is_write=False)
+    assert not hit
+
+
+def test_mmu_reactivating_same_space_keeps_tlb(amap):
+    mmu = MMU(amap)
+    a = make_space(amap)
+    mmu.activate(a)
+    mmu.translate(0, is_write=False)
+    mmu.activate(a)
+    _, _, hit = mmu.translate(0, is_write=False)
+    assert hit

@@ -1,0 +1,101 @@
+"""Unit tests for topology builders."""
+
+import pytest
+
+from repro.network import topology as T
+
+
+def test_star_single_switch():
+    topo = T.star(4)
+    assert topo.switch_ids == [0]
+    assert topo.hosts == [0, 1, 2, 3]
+    assert topo.hosts_on(0) == [0, 1, 2, 3]
+    topo.validate()
+
+
+def test_star_needs_hosts():
+    with pytest.raises(ValueError):
+        T.star(0)
+
+
+def test_chain_structure():
+    topo = T.chain(3, 2)
+    assert topo.switch_ids == [0, 1, 2]
+    assert topo.hosts == [0, 1, 2, 3, 4, 5]
+    assert topo.neighbors(1) == [0, 2]
+    assert topo.hosts_on(2) == [4, 5]
+    topo.validate()
+
+
+def test_ring_closes_the_loop():
+    topo = T.ring(4, 1)
+    assert set(topo.neighbors(0)) == {1, 3}
+    topo.validate()
+
+
+def test_ring_minimum_size():
+    with pytest.raises(ValueError):
+        T.ring(2, 1)
+
+
+def test_mesh2d_structure():
+    topo = T.mesh2d(2, 3, hosts_per_switch=1)
+    assert len(topo.switch_ids) == 6
+    assert set(topo.neighbors((0, 0))) == {(0, 1), (1, 0)}
+    assert set(topo.neighbors((1, 1))) == {(1, 0), (1, 2), (0, 1)}
+    topo.validate()
+
+
+def test_duplicate_switch_rejected():
+    topo = T.Topology()
+    topo.add_switch(0)
+    with pytest.raises(ValueError):
+        topo.add_switch(0)
+
+
+def test_duplicate_host_rejected():
+    topo = T.star(2)
+    with pytest.raises(ValueError):
+        topo.attach_host(0, 0)
+
+
+def test_attach_to_unknown_switch_rejected():
+    topo = T.Topology()
+    topo.add_switch(0)
+    with pytest.raises(ValueError):
+        topo.attach_host(0, 99)
+
+
+def test_self_loop_rejected():
+    topo = T.Topology()
+    topo.add_switch(0)
+    with pytest.raises(ValueError):
+        topo.connect_switches(0, 0)
+
+
+def test_disconnected_topology_fails_validation():
+    topo = T.Topology()
+    topo.add_switch(0)
+    topo.add_switch(1)
+    topo.attach_host(0, 0)
+    with pytest.raises(ValueError, match="disconnected"):
+        topo.validate()
+
+
+def test_empty_topology_fails_validation():
+    topo = T.Topology()
+    with pytest.raises(ValueError):
+        topo.validate()
+
+
+@pytest.mark.parametrize("name", ["star", "chain", "ring", "mesh"])
+@pytest.mark.parametrize("n_hosts", [2, 5, 9])
+def test_by_name_builds_requested_host_count(name, n_hosts):
+    topo = T.by_name(name, n_hosts)
+    assert topo.hosts == list(range(n_hosts))
+    topo.validate()
+
+
+def test_by_name_unknown():
+    with pytest.raises(ValueError):
+        T.by_name("torus", 4)

@@ -1,0 +1,106 @@
+"""Unit tests for the VM manager."""
+
+import pytest
+
+from repro.machine import AddressMap, Region
+from repro.os.vm import VirtualMemoryManager
+
+
+@pytest.fixture
+def vm():
+    return VirtualMemoryManager(AddressMap(), node_id=0, mpm_pages=64)
+
+
+def test_create_space_unique_names(vm):
+    vm.create_space("a")
+    with pytest.raises(ValueError):
+        vm.create_space("a")
+
+
+def test_vpage_allocation_is_consecutive(vm):
+    space = vm.create_space("a")
+    first = vm.alloc_vpages(space, 2)
+    second = vm.alloc_vpages(space, 1)
+    assert second == first + 2
+
+
+def test_backend_allocation_first_fit(vm):
+    a = vm.alloc_backend_pages(2)
+    b = vm.alloc_backend_pages(1)
+    assert b == a + 2
+    vm.free_backend_page(a)
+    c = vm.alloc_backend_pages(1)
+    assert c == a
+
+
+def test_backend_pinned_allocation(vm):
+    vm.alloc_backend_pages(1, at=10)
+    with pytest.raises(ValueError):
+        vm.alloc_backend_pages(1, at=10)
+
+
+def test_backend_exhaustion(vm):
+    vm.alloc_backend_pages(64)
+    with pytest.raises(RuntimeError, match="exhausted"):
+        vm.alloc_backend_pages(1)
+
+
+def test_map_remote_window_pte(vm):
+    space = vm.create_space("a")
+    vaddr = vm.map_remote_window(space, home=3, gpage=2, n_pages=2)
+    vpage = vaddr // vm.amap.page_bytes
+    entry = space.entry_for(vpage)
+    decoded = vm.amap.decode(entry.phys_base)
+    assert decoded.region is Region.REMOTE
+    assert decoded.node == 3
+    assert entry.shared_id == (3, 2)
+    assert space.entry_for(vpage + 1).shared_id == (3, 3)
+
+
+def test_map_local_shared_pte(vm):
+    space = vm.create_space("a")
+    vaddr = vm.map_local_shared(space, local_page=5, home_id=(0, 5))
+    entry = space.entry_for(vaddr // vm.amap.page_bytes)
+    assert vm.amap.decode(entry.phys_base).region is Region.MPM
+    assert entry.shared_id == (0, 5)
+
+
+def test_map_shadow_of_existing_mapping(vm):
+    space = vm.create_space("a")
+    vaddr = vm.map_remote_window(space, home=1, gpage=0)
+    shadow_vaddr = vm.map_shadow_of(space, vaddr + 0x24)
+    entry = space.entry_for(shadow_vaddr // vm.amap.page_bytes)
+    decoded = vm.amap.decode(entry.phys_base)
+    assert decoded.shadow
+    assert decoded.node == 1
+    # Page offset preserved.
+    assert shadow_vaddr % vm.amap.page_bytes == 0x24
+
+
+def test_map_shadow_of_unmapped_raises(vm):
+    space = vm.create_space("a")
+    with pytest.raises(ValueError):
+        vm.map_shadow_of(space, 0x1234)
+
+
+def test_map_private_cacheable(vm):
+    space = vm.create_space("a")
+    vaddr = vm.map_private(space, dram_page=0, n_pages=1)
+    entry = space.entry_for(vaddr // vm.amap.page_bytes)
+    assert entry.cacheable
+    assert vm.amap.decode(entry.phys_base).region is Region.DRAM
+
+
+def test_map_hib_and_context_pages(vm):
+    from repro.hib.registers import Reg
+
+    space = vm.create_space("a")
+    hib_vaddr = vm.map_hib_registers(space)
+    ctx_vaddr = vm.map_context_page(space, ctx_id=3)
+    hib_entry = space.entry_for(hib_vaddr // vm.amap.page_bytes)
+    ctx_entry = space.entry_for(ctx_vaddr // vm.amap.page_bytes)
+    assert vm.amap.decode(hib_entry.phys_base).offset == 0
+    assert (
+        vm.amap.decode(ctx_entry.phys_base).offset
+        == Reg.context_page_offset(3, vm.amap.page_bytes)
+    )

@@ -1,0 +1,110 @@
+"""Unit tests for tracing and statistics."""
+
+import pytest
+
+from repro.sim import Accumulator, Simulator, Tracer
+
+
+def make_tracer(enabled=True):
+    sim = Simulator()
+    tracer = Tracer(clock=lambda: sim.now, enabled=enabled)
+    return sim, tracer
+
+
+def test_record_and_select():
+    sim, tracer = make_tracer()
+    tracer.record("write", node=0, addr=4)
+    sim.schedule(10, tracer.record, "write")
+    sim.run()
+    assert len(tracer.events) == 2
+    assert tracer.events[0].time == 0
+    assert tracer.events[1].time == 10
+    assert tracer.select("write", node=0)[0].addr == 4
+
+
+def test_disabled_tracer_records_nothing():
+    _, tracer = make_tracer(enabled=False)
+    tracer.record("write", node=0)
+    assert tracer.events == []
+
+
+def test_category_filter():
+    _, tracer = make_tracer()
+    tracer.limit_to("read")
+    tracer.record("write", node=0)
+    tracer.record("read", node=1)
+    assert [e.category for e in tracer.events] == ["read"]
+
+
+def test_event_attribute_access():
+    _, tracer = make_tracer()
+    tracer.record("apply", value=7)
+    event = tracer.events[0]
+    assert event.value == 7
+    with pytest.raises(AttributeError):
+        _ = event.missing
+
+
+def test_iter_categories_counts():
+    _, tracer = make_tracer()
+    for _ in range(3):
+        tracer.record("a")
+    tracer.record("b")
+    assert list(tracer.iter_categories()) == [("a", 3), ("b", 1)]
+
+
+def test_clear():
+    _, tracer = make_tracer()
+    tracer.record("a")
+    tracer.clear()
+    assert tracer.events == []
+
+
+def test_accumulator_basic_stats():
+    acc = Accumulator("lat")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        acc.add(v)
+    assert acc.count == 4
+    assert acc.mean == pytest.approx(2.5)
+    assert acc.minimum == 1.0
+    assert acc.maximum == 4.0
+    assert acc.total == pytest.approx(10.0)
+    assert acc.stddev == pytest.approx(1.29099, rel=1e-4)
+
+
+def test_accumulator_percentiles():
+    acc = Accumulator()
+    for v in range(1, 101):
+        acc.add(float(v))
+    assert acc.percentile(0) == 1.0
+    assert acc.percentile(100) == 100.0
+    assert acc.percentile(50) == pytest.approx(50.5)
+
+
+def test_accumulator_single_sample_percentile():
+    acc = Accumulator()
+    acc.add(42.0)
+    assert acc.percentile(99) == 42.0
+    assert acc.stddev == 0.0
+
+
+def test_accumulator_empty_raises():
+    acc = Accumulator("empty")
+    with pytest.raises(ValueError):
+        _ = acc.mean
+    with pytest.raises(ValueError):
+        acc.percentile(50)
+
+
+def test_accumulator_percentile_bounds():
+    acc = Accumulator()
+    acc.add(1.0)
+    with pytest.raises(ValueError):
+        acc.percentile(101)
+
+
+def test_accumulator_summary_keys():
+    acc = Accumulator()
+    acc.add(5.0)
+    summary = acc.summary()
+    assert set(summary) == {"count", "mean", "min", "max", "p50", "p99"}

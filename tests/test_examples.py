@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run to completion and print
+its headline output.  (Each example also asserts its own invariants
+internally.)"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    out = io.StringIO()
+    with redirect_stdout(out):
+        module.main()
+    return out.getvalue()
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "remote write (issue)" in out
+    assert "remote read" in out
+    assert "Paper reference points" in out
+
+
+def test_streaming_pipeline_example():
+    out = run_example("streaming_pipeline.py")
+    assert "consumers hold replicas" in out
+    assert "cut the consumer read latency" in out
+
+
+def test_parallel_reduction_example():
+    out = run_example("parallel_reduction.py")
+    assert "global sum at home node" in out
+
+
+def test_remote_paging_example():
+    out = run_example("remote_paging.py")
+    assert "paged in" in out
+    assert "faster" in out
+
+
+def test_hotspot_profiling_example():
+    out = run_example("hotspot_profiling.py")
+    assert "access profile" in out
+    assert "alarm: page 0" in out
+
+
+def test_trace_driven_study_example():
+    out = run_example("trace_driven_study.py")
+    assert "Data-alignment sensitivity" in out
+    assert "Cluster report" in out

@@ -1,0 +1,65 @@
+"""Unit tests for configuration objects and miscellaneous paths."""
+
+import pytest
+
+from repro.params import (
+    DEFAULT_PARAMS,
+    PacketSizes,
+    Params,
+    SizingParams,
+    TimingParams,
+)
+
+
+def test_serialization_scales_with_bandwidth():
+    timing = TimingParams(link_bytes_per_us=20)
+    assert timing.serialization_ns(20) == 1000
+    assert timing.serialization_ns(14) == 700
+
+
+def test_packet_sizes_consistent_with_calibration():
+    sizes = PacketSizes()
+    # The 14-byte write packet is what pins sustained writes to 0.70 us.
+    assert sizes.write_request == 14
+    assert DEFAULT_PARAMS.timing.serialization_ns(sizes.write_request) == 700
+    assert sizes.read_request == 10
+    assert sizes.read_reply == 10
+    assert sizes.atomic_request == 18
+    assert sizes.atomic_reply == 10
+    assert sizes.copy_request == 14
+    assert sizes.update == 16
+    assert sizes.ack == 6
+
+
+def test_params_with_timing_override():
+    params = DEFAULT_PARAMS.with_timing(cpu_issue_ns=99)
+    assert params.timing.cpu_issue_ns == 99
+    assert DEFAULT_PARAMS.timing.cpu_issue_ns == 40  # original untouched
+
+
+def test_params_with_sizing_override():
+    params = DEFAULT_PARAMS.with_sizing(contexts=4)
+    assert params.sizing.contexts == 4
+    assert params.timing is DEFAULT_PARAMS.timing
+
+
+def test_sizing_page_words():
+    assert SizingParams().page_words == 2048
+
+
+def test_params_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_PARAMS.prototype = 2  # type: ignore[misc]
+
+
+def test_prototype_selection():
+    assert Params(prototype=2).prototype == 2
+    assert DEFAULT_PARAMS.prototype == 1
+
+
+def test_repro_package_exports():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+    assert repro.Cluster is not None
+    assert repro.DEFAULT_PARAMS is DEFAULT_PARAMS
