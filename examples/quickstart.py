@@ -4,69 +4,76 @@
 Builds the minimal Figure 1 setup — two DEC 3000/300 stand-ins on one
 Telegraphos switch — and exercises every §2.2 primitive from user
 level: remote write, remote read, FENCE, remote atomics, and remote
-copy, printing the simulated cost of each.
+copy, printing the simulated cost of each and a peek at the metrics
+registry.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.api import Cluster
+from repro.api import Cluster, ClusterConfig
 
 
 def main():
     print("Building a 2-node Telegraphos cluster (one switch)...")
-    cluster = Cluster(n_nodes=2)
+    with Cluster(ClusterConfig(n_nodes=2)) as cluster:
+        # The OS maps a shared segment homed at node 1 into a process
+        # on node 0 (§2.2.1: remote pages appear in the page table;
+        # accesses are plain loads and stores).
+        segment = cluster.alloc_segment(home=1, pages=1, name="demo")
+        proc = cluster.create_process(node=0, name="demo")
+        base = proc.map(segment)
+        report = []
 
-    # The OS maps a shared segment homed at node 1 into a process on
-    # node 0 (§2.2.1: remote pages appear in the page table; accesses
-    # are plain loads and stores).
-    segment = cluster.alloc_segment(home=1, pages=1, name="demo")
-    proc = cluster.create_process(node=0, name="demo")
-    base = proc.map(segment)
-    report = []
+        def program(p):
+            # -- remote write: a single store instruction, sub-microsecond.
+            start = cluster.now
+            yield p.store(base + 0x00, 42)
+            report.append(("remote write (issue)", cluster.now - start))
 
-    def program(p):
-        # -- remote write: a single store instruction, sub-microsecond.
-        start = cluster.now
-        yield p.store(base + 0x00, 42)
-        report.append(("remote write (issue)", cluster.now - start))
+            # -- FENCE: wait until every outstanding remote op completed.
+            start = cluster.now
+            yield p.fence()
+            report.append(("fence (completion)", cluster.now - start))
 
-        # -- FENCE: wait until every outstanding remote op completed.
-        start = cluster.now
-        yield p.fence()
-        report.append(("fence (completion)", cluster.now - start))
+            # -- remote read: blocks for the full network round trip.
+            start = cluster.now
+            value = yield p.load(base + 0x00)
+            report.append(("remote read", cluster.now - start))
+            assert value == 42
 
-        # -- remote read: blocks for the full network round trip.
-        start = cluster.now
-        value = yield p.load(base + 0x00)
-        report.append(("remote read", cluster.now - start))
-        assert value == 42
+            # -- remote atomic: fetch&add executed at the home node's HIB.
+            start = cluster.now
+            old = yield from p.fetch_and_add(base + 0x10, 5)
+            report.append(("remote fetch&add", cluster.now - start))
+            assert old == 0
 
-        # -- remote atomic: fetch&add executed at the home node's HIB.
-        start = cluster.now
-        old = yield from p.fetch_and_add(base + 0x10, 5)
-        report.append(("remote fetch&add", cluster.now - start))
-        assert old == 0
+            # -- compare&swap for locks.
+            old = yield from p.compare_and_swap(base + 0x10, 5, 99)
+            assert old == 5
 
-        # -- compare&swap for locks.
-        old = yield from p.compare_and_swap(base + 0x10, 5, 99)
-        assert old == 5
+            # -- remote copy: non-blocking prefetch of a remote word.
+            start = cluster.now
+            yield from p.remote_copy(base + 0x00, base + 0x20)
+            report.append(("remote copy (launch)", cluster.now - start))
+            yield p.fence()
+            report.append(("remote copy (fenced)", cluster.now - start))
 
-        # -- remote copy: non-blocking prefetch of a remote word.
-        start = cluster.now
-        yield from p.remote_copy(base + 0x00, base + 0x20)
-        report.append(("remote copy (launch)", cluster.now - start))
-        yield p.fence()
-        report.append(("remote copy (fenced)", cluster.now - start))
+        cluster.run(join=[cluster.start(proc, program)])
 
-    cluster.run_programs([cluster.start(proc, program)])
+        print("\nOperation costs (simulated):")
+        for name, ns in report:
+            print(f"  {name:<24} {ns / 1000.0:7.2f} us")
+        print(f"\nFinal memory at home node: "
+              f"[0x00]={segment.peek(0x00)} [0x10]={segment.peek(0x10)} "
+              f"[0x20]={segment.peek(0x20)}")
 
-    print("\nOperation costs (simulated):")
-    for name, ns in report:
-        print(f"  {name:<24} {ns / 1000.0:7.2f} us")
-    print(f"\nFinal memory at home node: "
-          f"[0x00]={segment.peek(0x00)} [0x10]={segment.peek(0x10)} "
-          f"[0x20]={segment.peek(0x20)}")
-    print("Paper reference points (S3.2): write 0.70 us, read 7.2 us.")
+        # Every layer kept count: one snapshot shows what the run did.
+        metrics = cluster.stats()["metrics"]
+        print(f"Metrics: remote writes issued by node 0 = "
+              f"{metrics['hib.remote_writes']['node=0']}, "
+              f"packets on host0->sw.req = "
+              f"{metrics['net.link.packets']['link=host0->sw.req']}")
+        print("Paper reference points (S3.2): write 0.70 us, read 7.2 us.")
 
 
 if __name__ == "__main__":

@@ -1,16 +1,22 @@
-"""Command-line self-check: ``python -m repro``.
+"""Command-line entry points: ``python -m repro [check|stats|trace]``.
 
-Builds a small cluster, exercises every §2.2 primitive, measures the
-§3.2 headline latencies, and prints a paper-vs-measured summary — a
-thirty-second smoke test that the installation works.
+- ``check`` (default) — thirty-second installation self-check: builds
+  a small cluster, exercises every §2.2 primitive, measures the §3.2
+  headline latencies, prints a paper-vs-measured summary.
+- ``stats`` — runs a demo workload on an N-node cluster and prints
+  the full observability report: per-node HIB/CPU/bus tables, the
+  metrics-registry snapshot, and the event-loop profile.
+- ``trace`` — the same demo with activity lanes on, exported as
+  Chrome trace-event JSON (open in ``chrome://tracing`` or Perfetto).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.analysis import comparison_table, measure_op_stream, us
-from repro.api import Cluster
+from repro.api import Cluster, ClusterConfig
 from repro.hib import GateCountModel
 
 
@@ -19,7 +25,7 @@ def self_check() -> int:
     print("=" * 60)
 
     # 1. Functional pass over every primitive.
-    cluster = Cluster(n_nodes=2)
+    cluster = Cluster(ClusterConfig(n_nodes=2))
     seg = cluster.alloc_segment(home=1, pages=1, name="check")
     proc = cluster.create_process(node=0, name="check")
     base = proc.map(seg)
@@ -34,7 +40,7 @@ def self_check() -> int:
         yield from p.remote_copy(base, base + 8)
         yield p.fence()
 
-    cluster.run_programs([cluster.start(proc, program)])
+    cluster.run(join=[cluster.start(proc, program)])
     functional = (
         observed == {"read": 7, "fadd": 0, "cas": 3}
         and seg.peek(4) == 9
@@ -45,7 +51,7 @@ def self_check() -> int:
 
     # 2. The §3.2 headline latencies.
     def write_us():
-        c = Cluster(n_nodes=2, trace=False)
+        c = Cluster(ClusterConfig(n_nodes=2, trace=False, metrics=False))
         s = c.alloc_segment(home=1, pages=2, name="b")
         p = c.create_process(node=0, name="b")
         b = p.map(s)
@@ -53,7 +59,7 @@ def self_check() -> int:
             c, p, lambda i: p.store(b + 4 * (i % 512), i), count=2000))
 
     def read_us():
-        c = Cluster(n_nodes=2, trace=False)
+        c = Cluster(ClusterConfig(n_nodes=2, trace=False, metrics=False))
         s = c.alloc_segment(home=1, pages=2, name="b")
         p = c.create_process(node=0, name="b")
         b = p.map(s)
@@ -82,5 +88,100 @@ def self_check() -> int:
     return 0 if ok else 1
 
 
+def demo_run(n_nodes: int, protocol: str, topology: str,
+             trace_lanes: bool = False,
+             profile_kernel: bool = True) -> Cluster:
+    """A small all-to-all workload that lights up every subsystem:
+    each node streams writes into a shared segment on node 0, reads a
+    neighbour's slot, and bumps a shared total with a remote atomic."""
+    config = ClusterConfig(
+        n_nodes=n_nodes, protocol=protocol, topology=topology,
+        trace_lanes=trace_lanes, profile_kernel=profile_kernel,
+    )
+    with Cluster(config) as cluster:
+        seg = cluster.alloc_segment(home=0, pages=1, name="demo")
+        contexts = []
+        for node in range(n_nodes):
+            proc = cluster.create_process(node=node, name=f"demo{node}")
+            base = proc.map(seg)
+
+            def program(p, base=base, node=node):
+                for i in range(8):
+                    yield p.store(base + 4 * node, node * 1000 + i)
+                    yield p.think(500)
+                yield p.fence()
+                neighbour = (node + 1) % n_nodes
+                yield p.load(base + 4 * neighbour)
+                yield from p.fetch_and_add(base + 4 * n_nodes, 1)
+                yield p.fence()
+
+            contexts.append(cluster.start(proc, program))
+        cluster.run(join=contexts)
+        return cluster
+
+
+def cmd_stats(args) -> int:
+    cluster = demo_run(args.nodes, args.protocol, args.topology)
+    print(cluster.report().render())
+    stats = cluster.stats()
+    print()
+    print(f"quiescent: {stats['quiescent']}   "
+          f"instruments registered: {len(cluster.metrics)}")
+    if cluster.profiler is not None:
+        print()
+        print(cluster.profiler.render())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import export_chrome_trace
+
+    cluster = demo_run(args.nodes, args.protocol, args.topology,
+                       trace_lanes=True, profile_kernel=False)
+    doc = export_chrome_trace(cluster, path=args.out)
+    lanes = {(e["pid"], e["tid"]) for e in doc["traceEvents"]
+             if e.get("ph") == "X"}
+    print(f"wrote {args.out}: {len(doc['traceEvents'])} events, "
+          f"{len(lanes)} activity lanes, "
+          f"t final {cluster.now / 1000.0:.1f} us")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Telegraphos reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("check", help="installation self-check (default)")
+
+    def add_cluster_args(p):
+        p.add_argument("--nodes", type=int, default=4,
+                       help="cluster size (default: 4)")
+        p.add_argument("--protocol", default="telegraphos",
+                       help="coherence protocol (default: telegraphos)")
+        p.add_argument("--topology", default="star",
+                       help="fabric topology (default: star)")
+
+    p_stats = sub.add_parser(
+        "stats", help="demo run + per-node/per-link metrics report"
+    )
+    add_cluster_args(p_stats)
+    p_trace = sub.add_parser(
+        "trace", help="demo run exported as Chrome trace-event JSON"
+    )
+    add_cluster_args(p_trace)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="output path (default: trace.json)")
+
+    args = parser.parse_args(argv)
+    if args.command == "stats":
+        return cmd_stats(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    return self_check()
+
+
 if __name__ == "__main__":
-    sys.exit(self_check())
+    sys.exit(main())

@@ -97,16 +97,48 @@ class ClusterReport:
                               switch.peak_buffer_use)
         return table
 
+    def metrics_table(self, include_zero: bool = False) -> Table:
+        """Flat view of the cluster's metrics-registry snapshot.
+
+        Scalar instruments render as-is; gauges as ``value (peak p)``;
+        histograms as ``count/mean/p99``.  All-zero scalars are elided
+        unless ``include_zero`` — with a couple of hundred instruments
+        per cluster, the silent ones are noise.
+        """
+        table = Table(["metric", "tags", "value"],
+                      title="Metrics registry")
+        for name, series in self.cluster.metrics.snapshot().items():
+            for tags, value in series.items():
+                if isinstance(value, dict):
+                    if "peak" in value:
+                        cell = f"{value['value']} (peak {value['peak']})"
+                    elif not value.get("count"):
+                        continue
+                    else:
+                        cell = (f"n={value['count']} "
+                                f"mean={value['mean']:.0f} "
+                                f"p99={value['p99']:.0f}")
+                elif value or include_zero:
+                    cell = value
+                else:
+                    continue
+                table.add_row(name, tags, cell)
+        return table
+
     # -- whole report -----------------------------------------------------
 
     def sections(self) -> List[Table]:
-        return [
+        sections = [
             self.node_table(),
             self.engine_table(),
             self.hot_pages_table(),
             self.link_table(),
             self.switch_table(),
         ]
+        if getattr(self.cluster, "metrics", None) is not None \
+                and self.cluster.metrics.enabled:
+            sections.append(self.metrics_table())
+        return sections
 
     def render(self) -> str:
         header = (

@@ -18,24 +18,25 @@ This is the layer a Telegraphos application developer sees:
 
 Quickstart::
 
-    from repro.api import Cluster
+    from repro.api import Cluster, ClusterConfig
 
-    cluster = Cluster(n_nodes=2)
-    seg = cluster.alloc_segment(home=1, pages=1, name="data")
-    proc = cluster.create_process(node=0, name="writer")
-    base = proc.map(seg)
+    with Cluster(ClusterConfig(n_nodes=2)) as cluster:
+        seg = cluster.alloc_segment(home=1, pages=1, name="data")
+        proc = cluster.create_process(node=0, name="writer")
+        base = proc.map(seg)
 
-    def program(p):
-        yield p.store(base, 42)        # a sub-microsecond remote write
-        yield p.fence()                # MEMORY_BARRIER
-        value = yield p.load(base)     # a blocking remote read
-        assert value == 42
+        def program(p):
+            yield p.store(base, 42)      # a sub-microsecond remote write
+            yield p.fence()              # MEMORY_BARRIER
+            value = yield p.load(base)   # a blocking remote read
+            assert value == 42
 
-    cluster.start(proc, program)
-    cluster.run()
+        cluster.run(join=[cluster.start(proc, program)])
+        print(cluster.stats()["metrics"]["hib.remote_writes"])
 """
 
 from repro.api.cluster import Cluster, Workstation
+from repro.api.config import ClusterConfig
 from repro.api.msg import BroadcastChannel, Channel
 from repro.api.shmem import Proc, Segment
 from repro.api.sync import Barrier, Flag, SpinLock
@@ -45,6 +46,7 @@ __all__ = [
     "BroadcastChannel",
     "Channel",
     "Cluster",
+    "ClusterConfig",
     "Flag",
     "Proc",
     "Segment",

@@ -1,6 +1,6 @@
 """Cluster assembly: the composition root.
 
-A :class:`Cluster` builds, for ``n_nodes`` workstations:
+A :class:`Cluster` builds, for ``config.n_nodes`` workstations:
 
 - the switch fabric for the chosen topology (§2.1);
 - per node: DRAM, memory bus, TurboChannel, interrupt controller,
@@ -9,13 +9,29 @@ A :class:`Cluster` builds, for ``n_nodes`` workstations:
   the kernel, and the device driver;
 - the sharing directory and one coherence engine per node for the
   chosen protocol;
-- optionally, an alarm-based replication policy per node.
+- optionally, an alarm-based replication policy per node;
+- the observability plane: a per-cluster
+  :class:`~repro.obs.metrics.MetricsRegistry` wired into every layer,
+  and (opt-in) an event-loop profiler on the simulation kernel.
+
+The documented construction path is a :class:`ClusterConfig`::
+
+    with Cluster(ClusterConfig(n_nodes=4, protocol="telegraphos")) as c:
+        ...
+        c.run(join=contexts)
+        print(c.stats()["metrics"]["hib.remote_writes"])
+
+The older forms — positional arguments or bare keywords — still work
+but emit :class:`DeprecationWarning` (see :mod:`repro.api.config` for
+the policy).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import warnings
+from typing import Any, Dict, List, Optional
 
+from repro.api.config import LEGACY_POSITIONAL_ORDER, ClusterConfig
 from repro.coherence import CoherenceChecker, SharingDirectory, make_engine
 from repro.hib import HIB
 from repro.hib.backend import DramBackend, MpmBackend
@@ -28,6 +44,7 @@ from repro.machine import (
 )
 from repro.network import Fabric
 from repro.network.topology import by_name
+from repro.obs import EventLoopProfiler, MetricsRegistry
 from repro.os import NodeOS, TelegraphosDriver, VirtualMemoryManager
 from repro.os.replication import AlarmReplicationPolicy
 from repro.params import DEFAULT_PARAMS, Params
@@ -39,7 +56,7 @@ class Workstation:
 
     def __init__(self, sim: Simulator, params: Params, node_id: int,
                  amap: AddressMap, fabric: Fabric, tracer: Tracer,
-                 dram_bytes: int):
+                 dram_bytes: int, metrics: Optional[MetricsRegistry] = None):
         timing = params.timing
         self.node_id = node_id
         self.amap = amap
@@ -61,9 +78,10 @@ class Workstation:
         self.hib = HIB(
             sim, params, node_id, amap, fabric.port(node_id), self.tc_bus,
             self.backend, interrupts=self.interrupts, tracer=tracer,
+            metrics=metrics,
         )
         self.cpu = CPU(sim, params, node_id, amap, self.dram, self.membus,
-                       self.hib)
+                       self.hib, tracer=tracer)
         mpm_pages = params.sizing.mpm_bytes // params.sizing.page_bytes
         self.vm = VirtualMemoryManager(amap, node_id, mpm_pages)
         self.os = NodeOS(node_id, params, self.cpu, self.interrupts, self.hib)
@@ -74,49 +92,93 @@ class Workstation:
 class Cluster:
     """A Telegraphos workstation cluster."""
 
-    def __init__(
-        self,
-        n_nodes: int,
-        protocol: str = "none",
-        topology: str = "star",
-        params: Optional[Params] = None,
-        trace: bool = True,
-        cache_entries: Optional[int] = 32,
-        dram_bytes: int = 1 << 22,
-        replication_threshold: Optional[int] = None,
-    ):
-        if n_nodes < 1:
-            raise ValueError("a cluster needs at least one node")
-        self.params = params or DEFAULT_PARAMS
-        self.protocol = protocol
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 *args: Any, **kwargs: Any):
+        if isinstance(config, ClusterConfig):
+            if args or kwargs:
+                raise TypeError(
+                    "pass either a ClusterConfig or keyword arguments, "
+                    "not both"
+                )
+        else:
+            config = self._legacy_config(config, args, kwargs)
+        self.config = config
+        self.params = config.params or DEFAULT_PARAMS
+        self.protocol = config.protocol
         self.sim = Simulator()
+        self.metrics = MetricsRegistry(enabled=config.metrics)
+        self.profiler: Optional[EventLoopProfiler] = None
+        if config.profile_kernel:
+            self.profiler = EventLoopProfiler()
+            self.sim.hooks = self.profiler
         self.amap = AddressMap(page_bytes=self.params.sizing.page_bytes)
-        self.tracer = Tracer(clock=lambda: self.sim.now, enabled=trace)
-        self.fabric = Fabric(self.sim, self.params, by_name(topology, n_nodes))
+        self.tracer = Tracer(clock=lambda: self.sim.now,
+                             enabled=config.trace,
+                             lanes=config.trace_lanes)
+        self.fabric = Fabric(
+            self.sim, self.params, by_name(config.topology, config.n_nodes),
+            tracer=self.tracer,
+        )
         self.directory = SharingDirectory(self.params.sizing.page_bytes)
         self.nodes: List[Workstation] = [
             Workstation(self.sim, self.params, n, self.amap, self.fabric,
-                        self.tracer, dram_bytes)
-            for n in range(n_nodes)
+                        self.tracer, config.dram_bytes, metrics=self.metrics)
+            for n in range(config.n_nodes)
         ]
         self.engines = {}
         for node in self.nodes:
             engine = make_engine(
-                protocol, node.node_id, self.directory, tracer=self.tracer,
-                cache_entries=cache_entries,
+                config.protocol, node.node_id, self.directory,
+                tracer=self.tracer,
+                cache_entries=config.cache_entries,
                 rmw_ns=self.params.timing.counter_cache_rmw_ns,
             )
             node.hib.coherence = engine
             self.engines[node.node_id] = engine
-        if replication_threshold is not None:
+        if config.replication_threshold is not None:
             backends = {n.node_id: n.backend for n in self.nodes}
             for node in self.nodes:
                 node.replication = AlarmReplicationPolicy(
                     node.os, node.vm, self.directory, self.params,
                     remote_backends=backends,
-                    threshold=replication_threshold,
+                    threshold=config.replication_threshold,
                 )
         self._segments: Dict[str, "Segment"] = {}
+        self._register_metrics()
+
+    @staticmethod
+    def _legacy_config(first: Any, args: tuple, kwargs: dict) -> ClusterConfig:
+        """Translate the deprecated constructor forms into a config."""
+        if first is None and args:
+            raise TypeError("positional arguments require n_nodes first")
+        if first is not None:
+            positional = dict(zip(LEGACY_POSITIONAL_ORDER, (first,) + args))
+            if len((first,) + args) > len(LEGACY_POSITIONAL_ORDER):
+                raise TypeError("too many positional arguments")
+            overlap = set(positional) & set(kwargs)
+            if overlap:
+                raise TypeError(
+                    f"argument(s) given twice: {sorted(overlap)}"
+                )
+            kwargs = {**positional, **kwargs}
+        warnings.warn(
+            "building Cluster from bare arguments is deprecated; pass a "
+            "ClusterConfig: Cluster(ClusterConfig(n_nodes=...))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ClusterConfig(**kwargs)
+
+    # -- context management ------------------------------------------------
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Detach kernel hooks so a cluster left behind by a ``with``
+        # block stops profiling; simulation state stays inspectable.
+        self.sim.hooks = None
+        return False
 
     # -- topology access ---------------------------------------------------
 
@@ -153,22 +215,144 @@ class Cluster:
 
     # -- execution ------------------------------------------------------------
 
-    def run(self, until: Optional[int] = None) -> None:
-        self.sim.run(until=until)
+    def run(
+        self,
+        until: Optional[int] = None,
+        join=None,
+        limit_ns: Optional[int] = None,
+        drain_ns: int = 20_000_000,
+    ) -> None:
+        """Advance the simulation.
+
+        ``run()`` drains the event heap; ``run(until=t)`` advances to
+        ``t``.  ``run(join=contexts)`` runs until every given program
+        context (or process) completes, then drains in-flight traffic
+        for up to ``drain_ns`` (bounded so perpetual background
+        processes — schedulers, pollers — cannot hold the simulation
+        open).  This subsumes the old ``run_programs``.
+        """
+        if join is None:
+            self.sim.run(until=until)
+            return
+        if until is not None:
+            raise TypeError("pass either until= or join=, not both")
+        processes = [getattr(c, "process", c) for c in join]
+        self.sim.run_until_done(processes, limit_ns=limit_ns or 10**12)
+        if drain_ns:
+            self.sim.run(until=self.sim.now + drain_ns)
 
     def run_programs(self, contexts, limit_ns: Optional[int] = None,
                      drain_ns: int = 20_000_000) -> None:
-        """Run until all program contexts complete, then drain
-        in-flight traffic (bounded so perpetual background processes —
-        schedulers, pollers — cannot hold the simulation open)."""
-        self.sim.run_until_done(
-            [c.process for c in contexts], limit_ns=limit_ns or 10**12
-        )
-        self.sim.run(until=self.sim.now + drain_ns)
+        """Back-compat alias for :meth:`run` with ``join=``."""
+        self.run(join=contexts, limit_ns=limit_ns, drain_ns=drain_ns)
 
     @property
     def now(self) -> int:
         return self.sim.now
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self, check_coherence: bool = False) -> Dict[str, Any]:
+        """One snapshot of everything observable about this cluster.
+
+        Returns a dict with the metrics registry snapshot, quiescence
+        state per node, and (when profiling is on) the event-loop
+        profile.  With ``check_coherence=True`` the memory-model
+        checker's verdicts are included (requires tracing).
+        """
+        outstanding = {
+            n.node_id: n.hib.outstanding.count for n in self.nodes
+        }
+        out: Dict[str, Any] = {
+            "now_ns": self.now,
+            "n_nodes": len(self),
+            "protocol": self.protocol,
+            "quiescent": not any(outstanding.values()),
+            "outstanding": outstanding,
+            "metrics": self.metrics.snapshot(),
+        }
+        if self.profiler is not None:
+            out["kernel"] = self.profiler.snapshot()
+        if check_coherence:
+            checker = self.checker()
+            out["coherence"] = {
+                "subsequence_violations": checker.subsequence_violations(),
+                "divergent_words": checker.divergent_words(self.backends()),
+            }
+        return out
+
+    def report(self):
+        """The renderable text report (see :mod:`repro.analysis.report`)."""
+        from repro.analysis.report import ClusterReport
+
+        return ClusterReport(self)
+
+    def _register_metrics(self) -> None:
+        """Wire callback gauges over every layer's native counters.
+
+        Pull-based: nothing here costs anything until
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` runs.
+        """
+        m = self.metrics
+        if not m.enabled:
+            return
+        for station in self.nodes:
+            nid = station.node_id
+            hib, cpu = station.hib, station.cpu
+            for key in hib.stats:
+                m.gauge_fn(f"hib.{key}",
+                           lambda s=hib.stats, k=key: s[k], node=nid)
+            out = hib.outstanding
+            m.gauge_fn("hib.outstanding", lambda o=out: o.count, node=nid)
+            m.gauge_fn("hib.outstanding_peak",
+                       lambda o=out: o.max_outstanding, node=nid)
+            m.gauge_fn("hib.ops_issued",
+                       lambda o=out: o.total_issued, node=nid)
+            for label, bus in (("membus", station.membus),
+                               ("tc", station.tc_bus)):
+                m.gauge_fn("bus.transactions",
+                           lambda b=bus: b.transactions, node=nid, bus=label)
+                m.gauge_fn("bus.busy_ns",
+                           lambda b=bus: b.busy_ns, node=nid, bus=label)
+                m.gauge_fn("bus.arb_waits",
+                           lambda b=bus: b.arb_waits, node=nid, bus=label)
+                m.gauge_fn("bus.wait_ns",
+                           lambda b=bus: b.wait_ns, node=nid, bus=label)
+            m.gauge_fn("cpu.ops", lambda c=cpu: c.ops_executed, node=nid)
+            m.gauge_fn("cpu.loads", lambda c=cpu: c.loads, node=nid)
+            m.gauge_fn("cpu.stores", lambda c=cpu: c.stores, node=nid)
+            m.gauge_fn("cpu.fences", lambda c=cpu: c.fences, node=nid)
+            m.gauge_fn("cpu.io_stall_ns",
+                       lambda c=cpu: c.io_stall_ns, node=nid)
+        for nid, engine in self.engines.items():
+            for key in engine.stats:
+                m.gauge_fn(f"coherence.{key}",
+                           lambda s=engine.stats, k=key: s[k], node=nid)
+            cache = getattr(engine, "counters", None)
+            if cache is not None:
+                for key in ("hits", "misses", "stalls", "stall_ns",
+                            "max_used"):
+                    m.gauge_fn(f"coherence.counter_cache.{key}",
+                               lambda c=cache, k=key: getattr(c, k),
+                               node=nid)
+        for link in self.fabric.links:
+            m.gauge_fn("net.link.packets",
+                       lambda lk=link: lk.packets_carried, link=link.name)
+            m.gauge_fn("net.link.bytes",
+                       lambda lk=link: lk.bytes_carried, link=link.name)
+            m.gauge_fn("net.link.busy_ns",
+                       lambda lk=link: lk.busy_ns, link=link.name)
+            m.gauge_fn("net.link.queue_depth",
+                       lambda lk=link: len(lk.src), link=link.name)
+        for vc, plane in self.fabric.switches.items():
+            for switch_id, switch in plane.items():
+                tags = {"switch": str(switch_id), "plane": vc}
+                m.gauge_fn("net.switch.packets_routed",
+                           lambda s=switch: s.packets_routed, **tags)
+                m.gauge_fn("net.switch.peak_buffer",
+                           lambda s=switch: s.peak_buffer_use, **tags)
+                m.gauge_fn("net.switch.buffer_stalls",
+                           lambda s=switch: s.buffer_stalls, **tags)
 
     # -- verification helpers ------------------------------------------------------
 

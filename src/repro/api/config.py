@@ -1,0 +1,105 @@
+"""Cluster configuration.
+
+:class:`ClusterConfig` is the one object that describes a cluster
+build: machine shape (nodes, topology, memory), protocol choice, and
+the observability switches.  It exists so that
+:class:`~repro.api.cluster.Cluster` construction has a single,
+serialisable surface — ``Cluster(ClusterConfig(...))`` — instead of a
+growing positional-argument list, and so experiment scripts can store
+and replay exact configurations (:meth:`ClusterConfig.to_dict` /
+:meth:`ClusterConfig.from_dict` round-trip through plain JSON types).
+
+Deprecation policy: the pre-config constructor forms
+(``Cluster(4, "telegraphos")`` positionally, or the bare keyword form
+``Cluster(n_nodes=4)``) keep working for one major version and emit
+:class:`DeprecationWarning`; new code should build a config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Optional
+
+from repro.params import PacketSizes, Params, SizingParams, TimingParams
+
+
+@dataclass
+class ClusterConfig:
+    """Everything a :class:`~repro.api.cluster.Cluster` needs to build.
+
+    Machine shape and protocol:
+
+    - ``n_nodes`` — number of workstations (≥ 1).
+    - ``protocol`` — coherence engine name
+      (see :func:`repro.coherence.make_engine`).
+    - ``topology`` — fabric topology name
+      (see :func:`repro.network.topology.by_name`).
+    - ``params`` — timing/sizing/packet parameters
+      (``None`` = :data:`~repro.params.DEFAULT_PARAMS`).
+    - ``cache_entries`` — counter-cache entries per node
+      (``None`` models Telegraphos I's uncached counters).
+    - ``dram_bytes`` — per-node main memory.
+    - ``replication_threshold`` — enable the §2.2.6 alarm-driven
+      replication policy at this access count (``None`` = off).
+
+    Observability:
+
+    - ``trace`` — record protocol events on the cluster
+      :class:`~repro.sim.Tracer`.
+    - ``trace_lanes`` — additionally record dense CPU/HIB/link
+      activity spans (needed for Chrome-trace export; off by default
+      because span volume grows with every operation).
+    - ``metrics`` — attach a live
+      :class:`~repro.obs.metrics.MetricsRegistry`; when ``False`` all
+      instruments are shared no-ops.
+    - ``profile_kernel`` — install an
+      :class:`~repro.obs.hooks.EventLoopProfiler` on the simulation
+      kernel.
+    """
+
+    n_nodes: int = 2
+    protocol: str = "none"
+    topology: str = "star"
+    params: Optional[Params] = None
+    trace: bool = True
+    cache_entries: Optional[int] = 32
+    dram_bytes: int = 1 << 22
+    replication_threshold: Optional[int] = None
+    metrics: bool = True
+    trace_lanes: bool = False
+    profile_kernel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+
+    # -- serialisation --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-safe); ``params`` expands to nested
+        dicts of its timing/sizing/packet fields."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)
+               if f.name != "params"}
+        out["params"] = None if self.params is None else asdict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClusterConfig":
+        data = dict(data)
+        params = data.pop("params", None)
+        if params is not None and not isinstance(params, Params):
+            params = Params(
+                timing=TimingParams(**params["timing"]),
+                sizing=SizingParams(**params["sizing"]),
+                packets=PacketSizes(**params["packets"]),
+                prototype=params["prototype"],
+            )
+        return cls(params=params, **data)
+
+
+# Positional order of the legacy ``Cluster(...)`` constructor, used to
+# translate deprecated calls (see repro.api.cluster).
+LEGACY_POSITIONAL_ORDER = (
+    "n_nodes", "protocol", "topology", "params", "trace",
+    "cache_entries", "dram_bytes", "replication_threshold",
+)

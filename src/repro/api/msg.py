@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.api.shmem import Proc, Segment
+from repro.api.shmem import Proc
 
 
 class Channel:

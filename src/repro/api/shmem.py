@@ -104,34 +104,70 @@ class Proc:
         raise ValueError(f"unknown mapping mode {mode!r}")
 
     def _map_replica(self, segment: Segment, writable: bool) -> int:
+        """Replicate ``segment`` locally and map the copy.
+
+        ``map_local_shared`` maps a *consecutive* run of backend
+        pages, so the replica pages must be contiguous.  When no page
+        of the segment is resident yet, all of them are allocated in
+        one call (which guarantees contiguity); when some pages are
+        already replicated (by an earlier mapping or the replication
+        policy), the existing placement is reused — and if that
+        placement is not contiguous, this raises instead of silently
+        mapping the wrong pages.
+        """
         directory = self.cluster.directory
         vm = self.station.vm
         page_bytes = self.cluster.amap.page_bytes
-        first_local: Optional[int] = None
+        groups = []
+        resident: dict = {}
         for i in range(segment.pages):
             gpage = segment.gpage + i
             group = directory.group(segment.home, gpage)
             if group is None:
                 group = directory.create_group(segment.home, gpage)
+            groups.append(group)
             if group.holds_copy(self.node_id):
-                local_page = group.placement[self.node_id]
-            else:
-                local_page = vm.alloc_backend_pages(1)
-                # Copy current contents (the OS replication step).
-                home_backend = self.cluster.node(segment.home).backend
-                local_backend = self.station.backend
-                for w in range(0, page_bytes, 4):
-                    local_backend.poke(
-                        local_page * page_bytes + w,
-                        home_backend.peek(gpage * page_bytes + w),
-                    )
-                directory.add_replica(group, self.node_id, local_page)
-            if first_local is None:
-                first_local = local_page
-        # Map the replica pages (assumed consecutive because
-        # alloc_backend_pages allocates first-fit from a clean pool).
+                resident[i] = group.placement[self.node_id]
+
+        local_pages: list = []
+        if not resident:
+            # Fresh replica: one allocation, consecutive by construction.
+            first = vm.alloc_backend_pages(segment.pages)
+            local_pages = list(range(first, first + segment.pages))
+        else:
+            for i in range(segment.pages):
+                if i in resident:
+                    local_pages.append(resident[i])
+                else:
+                    local_pages.append(vm.alloc_backend_pages(1))
+            expected = [local_pages[0] + i for i in range(segment.pages)]
+            if local_pages != expected:
+                for i, page in enumerate(local_pages):
+                    if i not in resident:
+                        vm.free_backend_page(page)
+                raise RuntimeError(
+                    f"replica pages for segment {segment.name!r} on node "
+                    f"{self.node_id} are not contiguous "
+                    f"(got {local_pages}); the pre-existing replica "
+                    "placement cannot back a multi-page mapping"
+                )
+
+        home_backend = self.cluster.node(segment.home).backend
+        local_backend = self.station.backend
+        for i, group in enumerate(groups):
+            if i in resident:
+                continue
+            local_page = local_pages[i]
+            # Copy current contents (the OS replication step).
+            gpage = segment.gpage + i
+            for w in range(0, page_bytes, 4):
+                local_backend.poke(
+                    local_page * page_bytes + w,
+                    home_backend.peek(gpage * page_bytes + w),
+                )
+            directory.add_replica(group, self.node_id, local_page)
         return vm.map_local_shared(
-            self.space, first_local, segment.pages,
+            self.space, local_pages[0], segment.pages,
             home_id=(segment.home, segment.gpage), writable=writable,
         )
 

@@ -13,7 +13,7 @@ of sub-microsecond remote writes, zero OS involvement.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.params import Params
 from repro.sim import BoundedQueue, Simulator

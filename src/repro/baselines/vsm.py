@@ -26,7 +26,7 @@ link-bandwidth parameter for a fair comparison.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.machine.mmu import PageTableEntry
 from repro.sim import BoundedQueue

@@ -44,6 +44,10 @@ class CounterCache:
         self.stall_ns = 0
         self.max_used = 0
         self.increments = 0
+        # Hit = the key was already resident (no allocation needed);
+        # miss = a first-touch increment had to allocate an entry.
+        self.hits = 0
+        self.misses = 0
 
     def value(self, key: Key) -> int:
         return self._counters.get(key, 0)
@@ -60,7 +64,10 @@ class CounterCache:
         """Generator: bump the counter, stalling while the cache is
         full and the key is not already resident."""
         self.increments += 1
-        if key not in self._counters:
+        if key in self._counters:
+            self.hits += 1
+        else:
+            self.misses += 1
             while self.full:
                 # "If there is no free entry in the cache, the
                 # processor is stalled.  Sooner or later, a cache entry

@@ -43,6 +43,7 @@ from repro.machine.bus import Bus
 from repro.machine.interrupts import InterruptController
 from repro.network.fabric import NetworkPort
 from repro.network.packet import Packet, PacketKind
+from repro.obs.metrics import NULL_REGISTRY
 from repro.params import Params
 from repro.sim import BoundedQueue, Future, Simulator, Tracer
 
@@ -61,6 +62,7 @@ class HIB:
         backend: Any,
         interrupts: Optional[InterruptController] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Any = None,
     ):
         self.sim = sim
         self.params = params
@@ -105,7 +107,19 @@ class HIB:
             "copies": 0,
             "multicast_updates": 0,
             "packets_served": 0,
+            "acks_sent": 0,
+            "acks_received": 0,
         }
+        # Push-style instruments (no-ops under a disabled registry):
+        # network time of every packet this HIB served, request
+        # injection to servant pickup.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_req_wait = self.metrics.histogram(
+            "hib.request_wait_ns", node=node_id
+        )
+        self._m_rsp_wait = self.metrics.histogram(
+            "hib.reply_wait_ns", node=node_id
+        )
         self._service = sim.spawn(self._service_loop(), name=f"hib{node_id}.svc")
         self._replies = sim.spawn(self._reply_loop(), name=f"hib{node_id}.rsp")
 
@@ -468,6 +482,9 @@ class HIB:
         while True:
             packet: Packet = yield self.port.receive()
             self.stats["packets_served"] += 1
+            if packet.injected_at is not None:
+                self._m_req_wait.observe(self.sim.now - packet.injected_at)
+            began = self.sim.now
             yield timing.hib_decode_ns
             handler = {
                 PacketKind.WRITE_REQ: self._serve_write,
@@ -478,6 +495,10 @@ class HIB:
                 PacketKind.RING_UPDATE: self._serve_ring,
             }[packet.kind]
             yield from handler(packet)
+            self.tracer.span(
+                "hib_op", began, node=self.node_id,
+                kind=packet.kind.name, src=packet.src,
+            )
 
     def _reply_loop(self):
         """Reply-class servant: the dedicated response latch.  Replies
@@ -487,11 +508,18 @@ class HIB:
         while True:
             packet: Packet = yield self.port.receive_reply()
             self.stats["packets_served"] += 1
+            if packet.injected_at is not None:
+                self._m_rsp_wait.observe(self.sim.now - packet.injected_at)
+            began = self.sim.now
             yield 2 * timing.hib_cycle_ns
             if packet.kind is PacketKind.WRITE_ACK:
                 yield from self._serve_ack(packet)
             else:
                 yield from self._serve_reply(packet)
+            self.tracer.span(
+                "hib_op", began, node=self.node_id,
+                kind=packet.kind.name, src=packet.src,
+            )
 
     def _serve_write(self, packet: Packet):
         yield from self.backend.write(packet.address, packet.value)
@@ -513,6 +541,7 @@ class HIB:
         if target == self.node_id:
             self.outstanding.decrement()
             return
+        self.stats["acks_sent"] += 1
         ack = Packet(
             PacketKind.WRITE_ACK,
             src=self.node_id,
@@ -592,6 +621,7 @@ class HIB:
 
     def _serve_ack(self, packet: Packet):
         yield 0
+        self.stats["acks_received"] += 1
         self.outstanding.decrement()
 
     def _serve_update(self, packet: Packet):

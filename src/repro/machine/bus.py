@@ -38,9 +38,14 @@ class Bus:
         self.name = name
         self.arb_ns = arb_ns
         self._owner: Optional[object] = None
-        self._waiters: Deque[Future] = deque()
+        self._waiters: Deque[tuple] = deque()  # (future, enqueued-at)
         self.transactions = 0
         self.busy_ns = 0
+        # Arbitration contention: how often a master found the bus
+        # held, and the total time masters spent queued for it.
+        self.arb_waits = 0
+        self.wait_ns = 0
+        self.max_waiters = 0
 
     # -- explicit interface --------------------------------------------
 
@@ -52,7 +57,10 @@ class Bus:
             self._owner = who or future
             self.sim.schedule(self.arb_ns, future.set_result, None)
         else:
-            self._waiters.append(future)
+            self.arb_waits += 1
+            self._waiters.append((future, self.sim.now))
+            if len(self._waiters) > self.max_waiters:
+                self.max_waiters = len(self._waiters)
         return future
 
     def release(self) -> None:
@@ -60,7 +68,8 @@ class Bus:
             raise RuntimeError(f"{self.name}: release without owner")
         self._owner = None
         if self._waiters:
-            future = self._waiters.popleft()
+            future, enqueued = self._waiters.popleft()
+            self.wait_ns += self.sim.now - enqueued
             self._owner = future
             self.sim.schedule(self.arb_ns, future.set_result, None)
 

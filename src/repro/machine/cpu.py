@@ -75,6 +75,7 @@ class CPU:
         membus: Bus,
         io_device: Any,
         cache: Optional[DirectMappedCache] = None,
+        tracer: Optional[Any] = None,
     ):
         self.sim = sim
         self.params = params
@@ -85,6 +86,19 @@ class CPU:
         self.io = io_device
         self.cache = cache or DirectMappedCache()
         self.mmu = MMU(amap)
+        #: Optional :class:`~repro.sim.Tracer` for ``cpu_op`` lane
+        #: spans (recorded only when ``tracer.lanes`` is set).
+        self.tracer = tracer
+        # Node-lifetime counters (per-program counts live on the
+        # ProgramContext; these survive program exit).
+        self.ops_executed = 0
+        self.loads = 0
+        self.stores = 0
+        self.fences = 0
+        #: Time this CPU spent stalled in blocking I/O loads — the
+        #: §2.2.1 read-latency exposure, directly comparable to the
+        #: paper's 7.2 µs remote read.
+        self.io_stall_ns = 0
         #: OS hook: ``fault_handler(ctx, fault)`` is a generator that
         #: returns "retry" (mapping fixed) or "kill".
         self.fault_handler: Optional[Callable[[ProgramContext, PageFault], Any]] = None
@@ -169,8 +183,16 @@ class CPU:
             except StopIteration as stop:
                 self._release(ctx)
                 return getattr(stop, "value", None)
+            tracer = self.tracer
+            lanes = tracer is not None and tracer.lanes and tracer.enabled
+            began = self.sim.now if lanes else 0
             try:
                 result = yield from self._execute(op, ctx)
+                if lanes:
+                    tracer.span(
+                        "cpu_op", began, node=self.node_id,
+                        program=ctx.name, op=type(op).__name__,
+                    )
             except PageFault as fault:
                 verdict = yield from self._handle_fault(ctx, fault)
                 if verdict == "retry":
@@ -205,22 +227,28 @@ class CPU:
     def _execute(self, op, ctx: ProgramContext):
         timing = self.params.timing
         ctx.ops_executed += 1
+        self.ops_executed += 1
         if isinstance(op, Think):
             yield max(0, op.ns)
             return None
         if isinstance(op, Load):
             ctx.loads += 1
+            self.loads += 1
             yield timing.cpu_issue_ns
             value = yield from self._load(op.vaddr, ctx)
             return value
         if isinstance(op, Store):
             ctx.stores += 1
+            self.stores += 1
             yield timing.cpu_issue_ns
             yield from self._store(op.vaddr, op.value, ctx)
             return None
         if isinstance(op, Fence):
+            self.fences += 1
             yield timing.cpu_issue_ns
+            began = self.sim.now
             yield from self.io.tc_fence()
+            self.io_stall_ns += self.sim.now - began
             return None
         if isinstance(op, PalSequence):
             return (yield from self._execute_pal(op, ctx))
@@ -264,7 +292,9 @@ class CPU:
                 return self.dram.load_word(decoded.offset)
             yield from self.membus.transact(timing.mem_read_ns)
             return self.dram.load_word(decoded.offset)
+        began = self.sim.now
         value = yield from self.io.tc_load(phys)
+        self.io_stall_ns += self.sim.now - began
         return value
 
     def _store(self, vaddr: int, value: int, ctx: ProgramContext):

@@ -22,7 +22,7 @@ effect) is a property of the fabric, not of test scaffolding.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.params import Params
 from repro.sim import BoundedQueue, Simulator
@@ -79,11 +79,15 @@ class NetworkPort:
 class Fabric:
     """Builds and owns every switch and link of the cluster network."""
 
-    def __init__(self, sim: Simulator, params: Params, topology: Topology):
+    def __init__(self, sim: Simulator, params: Params, topology: Topology,
+                 tracer=None):
         topology.validate()
         self.sim = sim
         self.params = params
         self.topology = topology
+        #: Optional tracer handed to every link for activity-lane
+        #: spans (see :meth:`repro.sim.Tracer.span`).
+        self.tracer = tracer
         #: switches[vc][switch_id]
         self.switches: Dict[str, Dict[object, Switch]] = {vc: {} for vc in VCS}
         self.links: List[Link] = []
@@ -116,7 +120,8 @@ class Fabric:
                 switch_in = switch.add_input(("host", node_id))
                 self.links.append(
                     Link(self.sim, timing, egress, switch_in,
-                         name=f"host{node_id}->sw.{vc}")
+                         name=f"host{node_id}->sw.{vc}",
+                         node=node_id, tracer=self.tracer)
                 )
                 to_host = BoundedQueue(
                     sizing.link_credits, name=f"sw->host{node_id}.buf.{vc}"
@@ -124,7 +129,8 @@ class Fabric:
                 switch.add_output(("host", node_id), to_host)
                 self.links.append(
                     Link(self.sim, timing, to_host, ingress,
-                         name=f"sw->host{node_id}.{vc}")
+                         name=f"sw->host{node_id}.{vc}",
+                         node=node_id, tracer=self.tracer)
                 )
                 host_queues[node_id]["egress"][vc] = egress
                 host_queues[node_id]["ingress"][vc] = ingress
@@ -158,7 +164,7 @@ class Fabric:
         dst_in = dst.add_input(("switch", src_id))
         self.links.append(
             Link(self.sim, timing, buffer, dst_in,
-                 name=f"sw{src_id}->sw{dst_id}.{vc}")
+                 name=f"sw{src_id}->sw{dst_id}.{vc}", tracer=self.tracer)
         )
 
     # -- API -------------------------------------------------------------

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.params import TimingParams
-from repro.sim import BoundedQueue, Simulator
+from repro.sim import BoundedQueue, Simulator, Tracer
 from repro.network.packet import Packet
 
 
@@ -35,12 +35,19 @@ class Link:
         src: BoundedQueue,
         dst: BoundedQueue,
         name: str = "link",
+        node: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.sim = sim
         self.timing = timing
         self.src = src
         self.dst = dst
         self.name = name
+        #: Workstation this link attaches to (``None`` for
+        #: switch-to-switch cables) — used to assign the link's
+        #: activity lane to a node in trace exports.
+        self.node = node
+        self.tracer = tracer
         self.packets_carried = 0
         self.bytes_carried = 0
         self.busy_ns = 0
@@ -56,20 +63,28 @@ class Link:
         timing = self.timing
         while True:
             packet: Packet = yield self.src.get()
+            started = self.sim.now
             serialization = timing.serialization_ns(packet.size_bytes)
             yield serialization
             self.busy_ns += serialization
-            yield self._wire.put(packet)
+            yield self._wire.put((started, packet))
 
     def _propagate(self):
         timing = self.timing
+        tracer = self.tracer
         while True:
-            packet: Packet = yield self._wire.get()
+            started, packet = yield self._wire.get()
             yield timing.link_prop_ns
             # Blocks while the downstream buffer is full: back-pressure.
             yield self.dst.put(packet)
             self.packets_carried += 1
             self.bytes_carried += packet.size_bytes
+            if tracer is not None:
+                tracer.span(
+                    "link_xfer", started, link=self.name, node=self.node,
+                    src=packet.src, dst=packet.dst, kind=packet.kind.name,
+                    bytes=packet.size_bytes,
+                )
 
     @property
     def utilization_ns(self) -> int:

@@ -55,6 +55,9 @@ class Switch:
             self._slots.try_put(object())
         self.packets_routed = 0
         self.peak_buffer_use = 0
+        #: Times a VOQ pump found the shared central buffer exhausted
+        #: (the §2.1 back-pressure actually engaging).
+        self.buffer_stalls = 0
 
     # -- wiring (fabric-time) ---------------------------------------------
 
@@ -134,6 +137,8 @@ class Switch:
         queue, claiming central buffer slots."""
         while True:
             packet: Packet = yield voq.get()
+            if not len(self._slots):
+                self.buffer_stalls += 1
             token = yield self._slots.get()
             in_use = self._slots.capacity - len(self._slots)
             if in_use > self.peak_buffer_use:

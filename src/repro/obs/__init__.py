@@ -1,0 +1,45 @@
+"""Cluster-wide observability: metrics, kernel profiling, trace export.
+
+The paper motivates hardware page-access counters as the substrate for
+"profiling, performance monitoring and visualization tools" (§2.2.6);
+this package is that tooling layer for the whole reproduction:
+
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named,
+  tagged counters/gauges/histograms, one per cluster, fed by every
+  layer of the stack (fabric links and switches, HIBs, buses,
+  coherence engines, CPUs).  Disabled registries hand out shared
+  no-op instruments, so observability is strictly pay-for-use.
+- :mod:`repro.obs.hooks` — :class:`KernelHooks` callbacks on the
+  simulation kernel and the :class:`EventLoopProfiler` built on them
+  (events/sec, heap depth, hottest callbacks).
+- :mod:`repro.obs.chrome_trace` — Chrome trace-event JSON export
+  (``chrome://tracing`` / Perfetto) rendering per-node CPU/HIB/link
+  activity lanes from :class:`~repro.sim.Tracer` events.
+
+Entry points: ``Cluster(...).stats()`` for a snapshot,
+``python -m repro stats`` / ``python -m repro trace`` on the CLI.
+"""
+
+from repro.obs.chrome_trace import chrome_trace, export_chrome_trace
+from repro.obs.hooks import EventLoopProfiler, KernelHooks
+from repro.obs.metrics import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "EventLoopProfiler",
+    "Gauge",
+    "Histogram",
+    "KernelHooks",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "chrome_trace",
+    "export_chrome_trace",
+]

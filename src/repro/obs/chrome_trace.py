@@ -1,0 +1,123 @@
+"""Chrome trace-event export.
+
+Renders a cluster run as a Trace Event Format JSON object that
+``chrome://tracing`` and Perfetto load directly: one *process* row per
+workstation (plus one for the switch fabric), with *thread* lanes for
+the CPU, the HIB servant, and each attached link.  Duration events
+come from the :class:`~repro.sim.Tracer`'s **lane spans** (``cpu_op``,
+``hib_op``, ``link_xfer`` — recorded only when
+``tracer.lanes`` is on, see :class:`~repro.api.cluster.ClusterConfig`
+``trace_lanes``); every other trace category is rendered as an
+instant event on its node's row, so protocol events (``home_write``,
+``apply``, ``page_alarm``...) line up against the activity lanes that
+caused them.
+
+Timestamps are microseconds (the format's unit); the simulation's
+integer nanoseconds divide exactly into fractional µs, so event order
+is preserved.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+#: Synthetic pid for spans not attributable to one workstation
+#: (inter-switch links).
+FABRIC_PID = 9999
+
+#: Span categories and the lane (tid) they render into.
+_SPAN_LANES = {"cpu_op": "cpu", "hib_op": "hib"}
+
+
+class _LaneAllocator:
+    """Stable (pid, lane-name) -> integer tid mapping + metadata."""
+
+    def __init__(self) -> None:
+        self._tids: Dict[Any, int] = {}
+        self.metadata: List[dict] = []
+
+    def tid(self, pid: int, lane: str) -> int:
+        key = (pid, lane)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = sum(1 for p, _ in self._tids if p == pid)
+            self._tids[key] = tid
+            self.metadata.append({
+                "name": "thread_name", "ph": "M", "ts": 0.0,
+                "pid": pid, "tid": tid, "args": {"name": lane},
+            })
+        return tid
+
+
+def chrome_trace(cluster) -> Dict[str, Any]:
+    """Build the Trace Event Format document for a finished run."""
+    lanes = _LaneAllocator()
+    events: List[dict] = []
+
+    pids = {station.node_id for station in cluster.nodes}
+    for pid in sorted(pids):
+        events.append({
+            "name": "process_name", "ph": "M", "ts": 0.0,
+            "pid": pid, "tid": 0, "args": {"name": f"node{pid}"},
+        })
+    events.append({
+        "name": "process_name", "ph": "M", "ts": 0.0,
+        "pid": FABRIC_PID, "tid": 0, "args": {"name": "fabric"},
+    })
+
+    for event in cluster.tracer.events:
+        fields = event.fields
+        begin = fields.get("begin")
+        if event.category in _SPAN_LANES and begin is not None:
+            pid = fields.get("node", FABRIC_PID)
+            tid = lanes.tid(pid, _SPAN_LANES[event.category])
+            name = str(
+                fields.get("op") or fields.get("kind") or event.category
+            )
+            args = {k: _jsonable(v) for k, v in fields.items()
+                    if k not in ("begin", "node")}
+        elif event.category == "link_xfer" and begin is not None:
+            node = fields.get("node")
+            pid = node if node is not None else FABRIC_PID
+            tid = lanes.tid(pid, f"link:{fields['link']}")
+            name = str(fields.get("kind", "xfer"))
+            args = {k: _jsonable(v) for k, v in fields.items()
+                    if k not in ("begin", "node", "link")}
+        else:
+            pid = fields.get("node", FABRIC_PID)
+            tid = lanes.tid(pid, "events")
+            events.append({
+                "name": event.category, "cat": "trace", "ph": "i",
+                "s": "t", "ts": event.time / 1000.0, "pid": pid,
+                "tid": tid,
+                "args": {k: _jsonable(v) for k, v in fields.items()},
+            })
+            continue
+        events.append({
+            "name": name, "cat": event.category, "ph": "X",
+            "ts": begin / 1000.0, "dur": (event.time - begin) / 1000.0,
+            "pid": pid, "tid": tid, "args": args,
+        })
+
+    events.extend(lanes.metadata)
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    name = getattr(value, "name", None)  # enums (PacketKind)
+    if isinstance(name, str):
+        return name
+    return repr(value)
+
+
+def export_chrome_trace(cluster, path: Optional[str] = None) -> Dict[str, Any]:
+    """Build the trace document; optionally write it to ``path``."""
+    doc = chrome_trace(cluster)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+    return doc

@@ -1,0 +1,136 @@
+"""Kernel observation hooks and the event-loop profiler.
+
+The :class:`~repro.sim.Simulator` accepts one :class:`KernelHooks`
+object (``sim.hooks``) whose callbacks fire on event scheduling and
+execution and around :meth:`~repro.sim.Simulator.run`.  The default is
+``None`` — the kernel's hot loop pays exactly one ``is not None`` test
+per event, so simulations that do not profile lose nothing.
+
+:class:`EventLoopProfiler` is the stock implementation: it answers
+"where does simulation *wall-clock* time go?" — events executed per
+wall second, peak event-heap depth, and the hottest callbacks by
+invocation count (a CPU interpreter step, a switch forwarder, a link
+pump...).  That is the view needed to optimise the simulator itself,
+complementing the :class:`~repro.obs.metrics.MetricsRegistry`, which
+observes the *simulated machine*.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class KernelHooks:
+    """Base class: every callback is a no-op.  Subclass and override.
+
+    The kernel invokes, in order: :meth:`on_run_start` when a
+    :meth:`~repro.sim.Simulator.run` begins, :meth:`on_schedule` for
+    every event pushed on the heap, :meth:`on_execute` for every event
+    popped and executed, and :meth:`on_run_end` when the run returns.
+    """
+
+    def on_run_start(self, sim) -> None:
+        pass
+
+    def on_schedule(self, sim, time_ns: int, fn: Callable) -> None:
+        pass
+
+    def on_execute(self, sim, time_ns: int, fn: Callable) -> None:
+        pass
+
+    def on_run_end(self, sim, executed: int) -> None:
+        pass
+
+
+def _callback_label(fn: Callable) -> str:
+    """A stable, human-readable identity for an event callback."""
+    name = getattr(fn, "__qualname__", None)
+    if name is None:  # pragma: no cover - exotic callables
+        return repr(fn)
+    self = getattr(fn, "__self__", None)
+    # Bound methods of named simulation objects (processes, queues)
+    # all share a qualname; fold in the object's name when it has one.
+    obj_name = getattr(self, "name", None)
+    if obj_name is not None and name.startswith("Process."):
+        return f"process:{obj_name.split('.')[0].rstrip('0123456789')}"
+    return name
+
+
+class EventLoopProfiler(KernelHooks):
+    """Profiles the discrete-event kernel itself."""
+
+    def __init__(self, track_callbacks: bool = True):
+        self.track_callbacks = track_callbacks
+        self.events_scheduled = 0
+        self.events_executed = 0
+        self.max_heap_depth = 0
+        self.runs = 0
+        self.wall_seconds = 0.0
+        self.callback_counts: Dict[str, int] = {}
+        self._run_started: Optional[float] = None
+
+    # -- KernelHooks ----------------------------------------------------
+
+    def on_run_start(self, sim) -> None:
+        self.runs += 1
+        self._run_started = time.perf_counter()
+
+    def on_schedule(self, sim, time_ns: int, fn: Callable) -> None:
+        self.events_scheduled += 1
+        depth = len(sim._heap)
+        if depth > self.max_heap_depth:
+            self.max_heap_depth = depth
+
+    def on_execute(self, sim, time_ns: int, fn: Callable) -> None:
+        self.events_executed += 1
+        if self.track_callbacks:
+            label = _callback_label(fn)
+            self.callback_counts[label] = self.callback_counts.get(label, 0) + 1
+
+    def on_run_end(self, sim, executed: int) -> None:
+        if self._run_started is not None:
+            self.wall_seconds += time.perf_counter() - self._run_started
+            self._run_started = None
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def events_per_second(self) -> float:
+        """Executed events per *wall-clock* second across all runs."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_executed / self.wall_seconds
+
+    def hottest_callbacks(self, top: int = 10) -> List[Tuple[str, int]]:
+        ranked = sorted(self.callback_counts.items(), key=lambda kv: -kv[1])
+        return ranked[:top]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "events_scheduled": self.events_scheduled,
+            "events_executed": self.events_executed,
+            "max_heap_depth": self.max_heap_depth,
+            "runs": self.runs,
+            "wall_seconds": self.wall_seconds,
+            "events_per_second": self.events_per_second,
+            "hottest_callbacks": self.hottest_callbacks(),
+        }
+
+    def render(self, top: int = 10) -> str:
+        lines = [
+            "Event-loop profile",
+            f"  events executed : {self.events_executed}"
+            f" (scheduled {self.events_scheduled})",
+            f"  peak heap depth : {self.max_heap_depth}",
+            f"  wall time       : {self.wall_seconds * 1000.0:.1f} ms"
+            f" over {self.runs} run(s)",
+            f"  throughput      : {self.events_per_second:,.0f} events/s",
+        ]
+        hot = self.hottest_callbacks(top)
+        if hot:
+            lines.append(f"  hottest callbacks (top {len(hot)}):")
+            width = max(len(label) for label, _ in hot)
+            for label, count in hot:
+                lines.append(f"    {label:<{width}}  {count}")
+        return "\n".join(lines)

@@ -324,6 +324,9 @@ class Simulator:
         self._live_processes: set = set()
         self._failures: List[Tuple[Process, BaseException]] = []
         self.strict_failures = True
+        #: Optional :class:`~repro.obs.hooks.KernelHooks`; ``None``
+        #: keeps the hot loop at one pointer test per event.
+        self.hooks: Optional[Any] = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -334,6 +337,8 @@ class Simulator:
         event = _Event(self.now + int(delay), self._seq, fn, args)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        if self.hooks is not None:
+            self.hooks.on_schedule(self, event.time, fn)
         return EventHandle(event)
 
     def schedule_at(self, time: int, fn: Callable, *args: Any) -> EventHandle:
@@ -374,23 +379,32 @@ class Simulator:
         """
         executed = 0
         heap = self._heap
-        while heap:
-            if max_events is not None and executed >= max_events:
-                break
-            event = heap[0]
-            if until is not None and event.time > until:
-                break
-            heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            event.fn(*event.args)
-            executed += 1
-            if self._failures and self.strict_failures:
-                process, error = self._failures[0]
-                raise RuntimeError(
-                    f"process {process.name!r} failed at t={self.now}ns"
-                ) from error
+        hooks = self.hooks
+        if hooks is not None:
+            hooks.on_run_start(self)
+        try:
+            while heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.fn(*event.args)
+                executed += 1
+                if hooks is not None:
+                    hooks.on_execute(self, event.time, event.fn)
+                if self._failures and self.strict_failures:
+                    process, error = self._failures[0]
+                    raise RuntimeError(
+                        f"process {process.name!r} failed at t={self.now}ns"
+                    ) from error
+        finally:
+            if hooks is not None:
+                hooks.on_run_end(self, executed)
         if until is not None and self.now < until:
             self.now = until
         if check_deadlock and not heap:

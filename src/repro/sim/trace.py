@@ -41,9 +41,16 @@ class Tracer:
     so the latency benches do not pay for event storage.
     """
 
-    def __init__(self, clock: Callable[[], int], enabled: bool = True):
+    def __init__(self, clock: Callable[[], int], enabled: bool = True,
+                 lanes: bool = False):
         self._clock = clock
         self.enabled = enabled
+        #: Activity-lane spans (``cpu_op``/``hib_op``/``link_xfer``,
+        #: via :meth:`span`) are much denser than protocol events, so
+        #: they have their own switch; the Chrome-trace exporter
+        #: (:mod:`repro.obs.chrome_trace`) turns them into per-node
+        #: timeline lanes.
+        self.lanes = lanes
         self.events: List[TraceEvent] = []
         self._category_filter: Optional[set] = None
 
@@ -57,6 +64,17 @@ class Tracer:
         if self._category_filter is not None and category not in self._category_filter:
             return
         self.events.append(TraceEvent(self._clock(), category, fields))
+
+    def span(self, category: str, begin: int, **fields: Any) -> None:
+        """Record an activity span that started at ``begin`` and ends
+        now.  No-op unless both ``enabled`` and ``lanes`` are set."""
+        if not (self.enabled and self.lanes):
+            return
+        if self._category_filter is not None and category not in self._category_filter:
+            return
+        self.events.append(
+            TraceEvent(self._clock(), category, {"begin": begin, **fields})
+        )
 
     def select(self, category: str, **match: Any) -> List[TraceEvent]:
         """Events of ``category`` whose fields include all of ``match``."""

@@ -43,7 +43,7 @@ def test_report_reflects_actual_counts():
     report = ClusterReport(cluster)
     node_text = report.node_table().render()
     # Reader did 3 remote reads and 1 atomic from node 2.
-    lines = [l for l in node_text.splitlines() if l.startswith("2 ")]
+    lines = [ln for ln in node_text.splitlines() if ln.startswith("2 ")]
     assert lines
     engine_text = report.engine_table().render()
     assert "telegraphos" in engine_text

@@ -4,7 +4,7 @@ processes, op builders, both prototypes."""
 import pytest
 
 from repro.api import Cluster
-from repro.params import DEFAULT_PARAMS, Params
+from repro.params import Params
 
 
 def test_cluster_builds_nodes():
@@ -140,6 +140,52 @@ def test_replica_preloads_existing_contents():
 
     cluster.run_programs([cluster.start(reader, prog)])
     assert got == [5555]
+
+
+def test_multi_page_replica_is_contiguous_and_correct():
+    cluster = Cluster(n_nodes=2, protocol="telegraphos")
+    page = cluster.amap.page_bytes
+    seg = cluster.alloc_segment(home=0, pages=3, name="big")
+    for i in range(3):
+        seg.poke(i * page, 900 + i)
+    reader = cluster.create_process(node=1, name="reader")
+    base = reader.map(seg, mode="replica")
+    got = []
+
+    def prog(p):
+        for i in range(3):
+            got.append((yield p.load(base + i * page)))
+
+    cluster.run_programs([cluster.start(reader, prog)])
+    assert got == [900, 901, 902]
+    # The replica occupies one consecutive backend-page run.
+    placements = [
+        cluster.directory.group(0, seg.gpage + i).placement[1]
+        for i in range(3)
+    ]
+    assert placements == list(range(placements[0], placements[0] + 3))
+
+
+def test_non_contiguous_resident_replica_raises_not_corrupts():
+    """Regression: a pre-existing replica placement that cannot back a
+    consecutive multi-page mapping must fail loudly (the old code
+    silently mapped the wrong backend pages)."""
+    cluster = Cluster(n_nodes=2, protocol="telegraphos")
+    seg = cluster.alloc_segment(home=0, pages=2, name="split")
+    reader = cluster.create_process(node=1, name="reader")
+    vm = cluster.node(1).vm
+    directory = cluster.directory
+    # Replicate the segment's first page, then occupy the page right
+    # after it, so the second replica page cannot be adjacent.
+    first = vm.alloc_backend_pages(1)
+    blocker = vm.alloc_backend_pages(1)
+    assert blocker == first + 1
+    group = directory.create_group(0, seg.gpage)
+    directory.add_replica(group, 1, first)
+    with pytest.raises(RuntimeError, match="not contiguous"):
+        reader.map(seg, mode="replica")
+    # The failed mapping released the page it had allocated on the fly.
+    assert vm.alloc_backend_pages(1) == blocker + 1
 
 
 def test_bad_mapping_mode_rejected():

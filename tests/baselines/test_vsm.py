@@ -1,6 +1,5 @@
 """Tests for the VSM (software DSM) baseline."""
 
-import pytest
 
 from repro.api import Cluster
 from repro.baselines import VsmManager

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.coherence import CounterCache, PageGroup, SharingDirectory
+from repro.coherence import CounterCache, SharingDirectory
 from repro.sim import Simulator
 
 

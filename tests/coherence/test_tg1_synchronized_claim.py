@@ -13,7 +13,7 @@ with chaotic back-to-back writes it does not — and the counter
 protocol handles the chaotic case.
 """
 
-from repro.machine import Fence, Store, Think
+from repro.machine import Fence, Store
 
 from tests.coherence.conftest import CoherenceRig
 
@@ -78,7 +78,6 @@ def test_synchronization_cost_vs_counter_cost():
     """The §2.3.4 trade-off is real: forcing synchronization between
     chaotic writes costs a fence round trip per write; the counter
     protocol costs only a CAM access."""
-    import time
 
     def makespan(protocol, synchronized):
         rig = CoherenceRig(n_nodes=3)

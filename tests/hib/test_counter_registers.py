@@ -4,7 +4,6 @@ arm and read counters through plain HIB-register loads and stores."""
 from repro.hib import Reg
 from repro.machine import Fence, Load, Store
 
-from tests.hib.conftest import Rig
 
 
 def select(hib_base, node, page):

@@ -1,12 +1,10 @@
 """Edge-path tests for the HIB: third-party copies, read-token
 limiting, reply bookkeeping, stats."""
 
-import pytest
 
 from repro.hib import Reg, SpecialOpcode
 from repro.machine import Fence, Load, PalSequence, Store
 
-from tests.hib.conftest import Rig
 
 
 def test_copy_between_two_remote_nodes(rig):

@@ -2,13 +2,11 @@
 write/read, fences, atomics (both launch mechanisms), remote copy,
 page-counter alarms, raw multicast."""
 
-import pytest
 
 from repro.hib import Reg, SpecialOpcode
-from repro.machine import Fence, Load, PalSequence, Store, Think
+from repro.machine import Fence, Load, PalSequence, Store
 from repro.machine.cpu import ProtectionViolation
 
-from tests.hib.conftest import Rig
 
 
 # ---------------------------------------------------------------------------

@@ -5,7 +5,6 @@ that distinguishes Tg II from Tg I's PAL approach."""
 from repro.hib import Reg, SpecialOpcode
 from repro.machine import Load, Store, Think
 
-from tests.hib.conftest import Rig
 
 
 def setup_context(rig, node, ctx_id, key):

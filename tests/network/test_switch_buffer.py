@@ -3,7 +3,7 @@ fairness, back-pressure on buffer exhaustion."""
 
 from repro.network import Fabric, Packet, PacketKind
 from repro.network import topology as T
-from repro.params import DEFAULT_PARAMS, Params
+from repro.params import DEFAULT_PARAMS
 from repro.sim import Simulator
 
 

@@ -1,0 +1,84 @@
+"""Chrome trace-event export: valid JSON, ordered events, and lanes
+for every layer (CPU, HIB, links)."""
+
+import json
+
+from repro.api import Cluster, ClusterConfig
+from repro.obs.chrome_trace import FABRIC_PID, chrome_trace, export_chrome_trace
+
+
+def _traced_cluster(n_nodes=3):
+    config = ClusterConfig(
+        n_nodes=n_nodes, protocol="none", trace_lanes=True,
+    )
+    cluster = Cluster(config)
+    seg = cluster.alloc_segment(home=0, pages=1, name="d")
+    ctxs = []
+    for node in range(1, n_nodes):
+        proc = cluster.create_process(node=node, name=f"p{node}")
+        base = proc.map(seg)
+
+        def program(p, base=base, node=node):
+            for i in range(4):
+                yield p.store(base + 4 * node, i)
+            yield p.fence()
+            yield p.load(base)
+
+        ctxs.append(cluster.start(proc, program))
+    cluster.run(join=ctxs)
+    return cluster
+
+
+def test_trace_is_valid_json_with_ordered_events():
+    cluster = _traced_cluster()
+    doc = chrome_trace(cluster)
+    rendered = json.loads(json.dumps(doc))  # JSON-serialisable end to end
+    events = rendered["traceEvents"]
+    assert events, "no events exported"
+    stamps = [e["ts"] for e in events if e["ph"] != "M"]
+    assert stamps == sorted(stamps), "events not in timestamp order"
+    for e in events:
+        if e["ph"] == "X":
+            assert e["dur"] >= 0
+
+
+def test_trace_has_cpu_hib_and_link_lanes():
+    cluster = _traced_cluster()
+    events = chrome_trace(cluster)["traceEvents"]
+    cats = {e.get("cat") for e in events if e["ph"] == "X"}
+    assert {"cpu_op", "hib_op", "link_xfer"} <= cats
+    # Per-node processes plus the fabric process are declared.
+    declared = {e["pid"] for e in events
+                if e["ph"] == "M" and e["name"] == "process_name"}
+    assert set(range(len(cluster))) <= declared
+    # Host-adjacent link spans sit in their node's process.
+    link_pids = {e["pid"] for e in events
+                 if e["ph"] == "X" and e["cat"] == "link_xfer"}
+    assert link_pids & set(range(len(cluster)))
+    assert link_pids <= set(range(len(cluster))) | {FABRIC_PID}
+
+
+def test_export_writes_loadable_file(tmp_path):
+    cluster = _traced_cluster(n_nodes=2)
+    out = tmp_path / "trace.json"
+    doc = export_chrome_trace(cluster, path=str(out))
+    on_disk = json.loads(out.read_text())
+    assert on_disk == json.loads(json.dumps(doc))
+    assert on_disk["displayTimeUnit"] == "ns"
+
+
+def test_lanes_off_means_no_spans():
+    cluster = Cluster(ClusterConfig(n_nodes=2))  # trace on, lanes off
+    seg = cluster.alloc_segment(home=1, pages=1, name="d")
+    proc = cluster.create_process(node=0, name="p")
+    base = proc.map(seg)
+
+    def program(p):
+        yield p.store(base, 1)
+        yield p.fence()
+
+    cluster.run(join=[cluster.start(proc, program)])
+    events = chrome_trace(cluster)["traceEvents"]
+    assert all(e["ph"] != "X" for e in events)
+    # Protocol events still appear as instants.
+    assert any(e["ph"] == "i" for e in events)

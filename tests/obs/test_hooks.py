@@ -1,0 +1,90 @@
+"""Kernel hooks and the event-loop profiler: accurate counts, and —
+critically — no effect on the simulated history."""
+
+from repro.api import Cluster, ClusterConfig
+from repro.obs import EventLoopProfiler, KernelHooks
+from repro.sim import Simulator
+
+
+def test_base_hooks_are_no_ops():
+    sim = Simulator()
+    sim.hooks = KernelHooks()
+    fired = []
+    sim.schedule(5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5]
+
+
+def test_profiler_counts_events_exactly():
+    sim = Simulator()
+    profiler = EventLoopProfiler()
+    sim.hooks = profiler
+
+    def tick():
+        pass
+
+    for t in (1, 2, 3):
+        sim.schedule(t, tick)
+    sim.run()
+    assert profiler.events_scheduled == 3
+    assert profiler.events_executed == 3
+    assert profiler.runs == 1
+    assert profiler.max_heap_depth >= 1
+    assert profiler.wall_seconds > 0.0
+    snap = profiler.snapshot()
+    assert snap["events_executed"] == 3
+    assert any("tick" in label for label, _ in snap["hottest_callbacks"])
+    assert "events/s" in profiler.render()
+
+
+def _observed_run(profile: bool):
+    config = ClusterConfig(
+        n_nodes=3, protocol="telegraphos",
+        metrics=True, profile_kernel=profile,
+    )
+    with Cluster(config) as cluster:
+        seg = cluster.alloc_segment(home=0, pages=1, name="d")
+        ctxs = []
+        for node in (1, 2):
+            proc = cluster.create_process(node=node, name=f"p{node}")
+            base = proc.map(seg, mode="replica")
+
+            def program(p, base=base, node=node):
+                for i in range(5):
+                    yield p.store(base + 4 * node, i)
+                    yield from p.fetch_and_add(base + 0x40, 1)
+                yield p.fence()
+
+            ctxs.append(cluster.start(proc, program))
+        cluster.run(join=ctxs)
+    fingerprint = [
+        (e.time, e.category, tuple(sorted(e.fields.items())))
+        for e in cluster.tracer.events
+    ]
+    return cluster, cluster.now, fingerprint
+
+
+def test_profiler_and_metrics_do_not_perturb_simulated_history():
+    plain = _observed_run(profile=False)
+    profiled = _observed_run(profile=True)
+    assert plain[1] == profiled[1], "simulated end times differ"
+    assert plain[2] == profiled[2], "event traces differ"
+    profiler = profiled[0].profiler
+    assert profiler is not None
+    assert profiler.events_executed > 0
+    assert profiler.events_scheduled >= profiler.events_executed
+
+
+def test_cluster_exit_detaches_hooks():
+    config = ClusterConfig(n_nodes=2, profile_kernel=True)
+    with Cluster(config) as cluster:
+        assert cluster.sim.hooks is cluster.profiler
+    assert cluster.sim.hooks is None
+
+
+def test_stats_includes_kernel_section_only_when_profiling():
+    with Cluster(ClusterConfig(n_nodes=2, profile_kernel=True)) as cluster:
+        cluster.run(until=1000)
+        assert "kernel" in cluster.stats()
+    plain = Cluster(ClusterConfig(n_nodes=2))
+    assert "kernel" not in plain.stats()

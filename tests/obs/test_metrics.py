@@ -1,0 +1,121 @@
+"""The metrics registry: instruments, dedup, pay-for-use, and exact
+end-to-end counts after a known op stream."""
+
+import pytest
+
+from repro.api import Cluster, ClusterConfig
+from repro.obs import MetricsRegistry, NULL_METRIC
+
+
+# -- instruments ----------------------------------------------------------
+
+
+def test_counter_and_gauge_and_histogram():
+    reg = MetricsRegistry()
+    c = reg.counter("ops", node=0)
+    c.inc()
+    c.inc(4)
+    g = reg.gauge("depth", node=0)
+    g.set(3)
+    g.add(2)
+    g.set(1)
+    h = reg.histogram("latency", node=0)
+    for v in (10, 20, 30):
+        h.observe(v)
+    snap = reg.snapshot()
+    assert snap["ops"]["node=0"] == 5
+    assert snap["depth"]["node=0"] == {"value": 1, "peak": 5}
+    assert snap["latency"]["node=0"]["count"] == 3
+    assert snap["latency"]["node=0"]["mean"] == 20
+
+
+def test_same_name_and_tags_share_an_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+    assert reg.counter("x", a=1) is not reg.counter("x", a=2)
+
+
+def test_kind_clash_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x", node=0)
+    with pytest.raises(TypeError):
+        reg.gauge("x", node=0)
+
+
+def test_gauge_fn_evaluated_at_snapshot_time():
+    reg = MetricsRegistry()
+    box = {"v": 1}
+    reg.gauge_fn("lazy", lambda: box["v"], node=0)
+    box["v"] = 42
+    assert reg.snapshot()["lazy"]["node=0"] == 42
+
+
+def test_disabled_registry_is_null():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("ops")
+    assert c is NULL_METRIC
+    c.inc()
+    c.observe(3)  # every mutator is a no-op on the shared null
+    reg.gauge_fn("lazy", lambda: 1 / 0)  # never evaluated
+    assert reg.snapshot() == {}
+    assert len(reg) == 0
+
+
+def test_empty_histogram_snapshots_to_count_zero():
+    reg = MetricsRegistry()
+    reg.histogram("h")
+    assert reg.snapshot()["h"][""] == {"count": 0}
+
+
+# -- end-to-end: exact counts from a known op stream ----------------------
+
+
+N_STORES = 12
+
+
+def _run_store_stream():
+    cluster = Cluster(ClusterConfig(n_nodes=2, protocol="none"))
+    seg = cluster.alloc_segment(home=1, pages=1, name="data")
+    proc = cluster.create_process(node=0, name="writer")
+    base = proc.map(seg)
+
+    def program(p):
+        for i in range(N_STORES):
+            yield p.store(base + 4 * i, i)
+        yield p.fence()
+
+    cluster.run(join=[cluster.start(proc, program)])
+    return cluster
+
+
+def test_known_op_stream_produces_exact_counts():
+    cluster = _run_store_stream()
+    snap = cluster.stats()["metrics"]
+    # N stores from node 0 to home node 1 = N write packets on the
+    # issuing host's request link, N issued writes, N acks back.
+    assert snap["hib.remote_writes"]["node=0"] == N_STORES
+    assert snap["net.link.packets"]["link=host0->sw.req"] == N_STORES
+    assert snap["hib.acks_sent"]["node=1"] == N_STORES
+    assert snap["hib.acks_received"]["node=0"] == N_STORES
+    assert snap["cpu.stores"]["node=0"] == N_STORES
+    assert snap["cpu.fences"]["node=0"] == 1
+    assert snap["hib.ops_issued"]["node=0"] == N_STORES
+    assert snap["hib.outstanding"]["node=0"] == 0
+    # The request-wait histogram saw exactly the N serviced packets.
+    assert snap["hib.request_wait_ns"]["node=1"]["count"] == N_STORES
+
+
+def test_metrics_disabled_cluster_still_runs_and_snapshots_empty():
+    cluster = Cluster(ClusterConfig(n_nodes=2, metrics=False))
+    seg = cluster.alloc_segment(home=1, pages=1, name="data")
+    proc = cluster.create_process(node=0, name="w")
+    base = proc.map(seg)
+
+    def program(p):
+        yield p.store(base, 1)
+        yield p.fence()
+
+    cluster.run(join=[cluster.start(proc, program)])
+    assert seg.peek(0) == 1
+    assert cluster.stats()["metrics"] == {}
+    assert len(cluster.metrics) == 0

@@ -1,6 +1,5 @@
 """Tests for the §2.2.6 alarm-based replication policy."""
 
-import pytest
 
 from repro.api import Cluster
 

@@ -6,7 +6,6 @@ from repro.sim import (
     Delay,
     Future,
     Interrupt,
-    Process,
     SimulationDeadlock,
     Simulator,
 )

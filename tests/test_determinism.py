@@ -7,7 +7,7 @@ EXPERIMENTS.md rests on.
 """
 
 from repro.api import Cluster
-from repro.workloads import run_producer_consumer, true_sharing_trace, TracePlayer
+from repro.workloads import true_sharing_trace, TracePlayer
 
 
 def mixed_run():
