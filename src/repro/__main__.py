@@ -88,15 +88,32 @@ def self_check() -> int:
     return 0 if ok else 1
 
 
+def build_faults(args) -> "dict | None":
+    """Translate the ``--fault-*`` CLI options into a ``faults=`` dict
+    (``None`` when every rate is zero: the lossless fabric)."""
+    faults = {
+        "seed": args.fault_seed,
+        "drop_rate": args.drop_rate,
+        "corrupt_rate": args.corrupt_rate,
+        "duplicate_rate": args.duplicate_rate,
+        "stall_rate": args.stall_rate,
+    }
+    if not any(v for k, v in faults.items() if k != "seed"):
+        return None
+    return faults
+
+
 def demo_run(n_nodes: int, protocol: str, topology: str,
              trace_lanes: bool = False,
-             profile_kernel: bool = True) -> Cluster:
+             profile_kernel: bool = True,
+             faults=None) -> Cluster:
     """A small all-to-all workload that lights up every subsystem:
     each node streams writes into a shared segment on node 0, reads a
     neighbour's slot, and bumps a shared total with a remote atomic."""
     config = ClusterConfig(
         n_nodes=n_nodes, protocol=protocol, topology=topology,
         trace_lanes=trace_lanes, profile_kernel=profile_kernel,
+        faults=faults,
     )
     with Cluster(config) as cluster:
         seg = cluster.alloc_segment(home=0, pages=1, name="demo")
@@ -121,12 +138,20 @@ def demo_run(n_nodes: int, protocol: str, topology: str,
 
 
 def cmd_stats(args) -> int:
-    cluster = demo_run(args.nodes, args.protocol, args.topology)
+    cluster = demo_run(args.nodes, args.protocol, args.topology,
+                       faults=build_faults(args))
     print(cluster.report().render())
     stats = cluster.stats()
     print()
     print(f"quiescent: {stats['quiescent']}   "
           f"instruments registered: {len(cluster.metrics)}")
+    if "faults" in stats:
+        injected = stats["faults"]["injected"]
+        failures = stats["faults"]["node_failures"]
+        print()
+        print("faults injected:",
+              ", ".join(f"{k}={v}" for k, v in sorted(injected.items())))
+        print(f"node failures: {len(failures)}")
     if cluster.profiler is not None:
         print()
         print(cluster.profiler.render())
@@ -137,7 +162,8 @@ def cmd_trace(args) -> int:
     from repro.obs import export_chrome_trace
 
     cluster = demo_run(args.nodes, args.protocol, args.topology,
-                       trace_lanes=True, profile_kernel=False)
+                       trace_lanes=True, profile_kernel=False,
+                       faults=build_faults(args))
     doc = export_chrome_trace(cluster, path=args.out)
     lanes = {(e["pid"], e["tid"]) for e in doc["traceEvents"]
              if e.get("ph") == "X"}
@@ -163,6 +189,16 @@ def main(argv=None) -> int:
                        help="coherence protocol (default: telegraphos)")
         p.add_argument("--topology", default="star",
                        help="fabric topology (default: star)")
+        p.add_argument("--fault-seed", type=int, default=0,
+                       help="fault-injection seed (default: 0)")
+        p.add_argument("--drop-rate", type=float, default=0.0,
+                       help="per-traversal packet drop probability")
+        p.add_argument("--corrupt-rate", type=float, default=0.0,
+                       help="per-traversal packet corruption probability")
+        p.add_argument("--duplicate-rate", type=float, default=0.0,
+                       help="per-traversal packet duplication probability")
+        p.add_argument("--stall-rate", type=float, default=0.0,
+                       help="per-traversal packet stall probability")
 
     p_stats = sub.add_parser(
         "stats", help="demo run + per-node/per-link metrics report"

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.api.config import LEGACY_POSITIONAL_ORDER, ClusterConfig
 from repro.coherence import CoherenceChecker, SharingDirectory, make_engine
+from repro.faults import FaultInjector
 from repro.hib import HIB
 from repro.hib.backend import DramBackend, MpmBackend
 from repro.machine import (
@@ -56,7 +57,8 @@ class Workstation:
 
     def __init__(self, sim: Simulator, params: Params, node_id: int,
                  amap: AddressMap, fabric: Fabric, tracer: Tracer,
-                 dram_bytes: int, metrics: Optional[MetricsRegistry] = None):
+                 dram_bytes: int, metrics: Optional[MetricsRegistry] = None,
+                 injector: Optional[FaultInjector] = None):
         timing = params.timing
         self.node_id = node_id
         self.amap = amap
@@ -78,7 +80,7 @@ class Workstation:
         self.hib = HIB(
             sim, params, node_id, amap, fabric.port(node_id), self.tc_bus,
             self.backend, interrupts=self.interrupts, tracer=tracer,
-            metrics=metrics,
+            metrics=metrics, injector=injector,
         )
         self.cpu = CPU(sim, params, node_id, amap, self.dram, self.membus,
                        self.hib, tracer=tracer)
@@ -115,14 +117,22 @@ class Cluster:
         self.tracer = Tracer(clock=lambda: self.sim.now,
                              enabled=config.trace,
                              lanes=config.trace_lanes)
+        fault_config = config.fault_config()
+        #: The cluster-wide fault injector (``None`` = lossless fabric).
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(self.sim, fault_config, tracer=self.tracer,
+                          metrics=self.metrics)
+            if fault_config is not None else None
+        )
         self.fabric = Fabric(
             self.sim, self.params, by_name(config.topology, config.n_nodes),
-            tracer=self.tracer,
+            tracer=self.tracer, injector=self.injector,
         )
         self.directory = SharingDirectory(self.params.sizing.page_bytes)
         self.nodes: List[Workstation] = [
             Workstation(self.sim, self.params, n, self.amap, self.fabric,
-                        self.tracer, config.dram_bytes, metrics=self.metrics)
+                        self.tracer, config.dram_bytes, metrics=self.metrics,
+                        injector=self.injector)
             for n in range(config.n_nodes)
         ]
         self.engines = {}
@@ -271,6 +281,13 @@ class Cluster:
             "outstanding": outstanding,
             "metrics": self.metrics.snapshot(),
         }
+        if self.injector is not None:
+            faults = self.injector.snapshot()
+            faults["transport"] = {
+                n.node_id: n.hib.transport.snapshot()
+                for n in self.nodes if n.hib.transport is not None
+            }
+            out["faults"] = faults
         if self.profiler is not None:
             out["kernel"] = self.profiler.snapshot()
         if check_coherence:

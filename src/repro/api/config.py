@@ -18,8 +18,9 @@ Deprecation policy: the pre-config constructor forms
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
+from repro.faults.plan import FaultConfig
 from repro.params import PacketSizes, Params, SizingParams, TimingParams
 
 
@@ -55,6 +56,15 @@ class ClusterConfig:
     - ``profile_kernel`` — install an
       :class:`~repro.obs.hooks.EventLoopProfiler` on the simulation
       kernel.
+
+    Fault injection:
+
+    - ``faults`` — a seeded fault schedule, as a plain dict (e.g.
+      ``{"seed": 7, "drop_rate": 1e-3}``) or a
+      :class:`~repro.faults.FaultConfig`.  ``None`` (the default) is
+      the paper's lossless fabric: no injector is built and behaviour
+      is bit-identical to a pre-fault-layer cluster.  See
+      :mod:`repro.faults` for the schema.
     """
 
     n_nodes: int = 2
@@ -68,10 +78,22 @@ class ClusterConfig:
     metrics: bool = True
     trace_lanes: bool = False
     profile_kernel: bool = False
+    faults: Optional[Union[Dict[str, Any], FaultConfig]] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        # Validate eagerly so a typo'd fault key fails at config time,
+        # not mid-build.
+        self.fault_config()
+
+    def fault_config(self) -> Optional[FaultConfig]:
+        """The parsed fault schedule (``None`` when faults are off)."""
+        if self.faults is None:
+            return None
+        if isinstance(self.faults, FaultConfig):
+            return self.faults
+        return FaultConfig.from_dict(self.faults)
 
     # -- serialisation --------------------------------------------------
 
@@ -79,8 +101,10 @@ class ClusterConfig:
         """Plain-data form (JSON-safe); ``params`` expands to nested
         dicts of its timing/sizing/packet fields."""
         out = {f.name: getattr(self, f.name) for f in fields(self)
-               if f.name != "params"}
+               if f.name not in ("params", "faults")}
         out["params"] = None if self.params is None else asdict(self.params)
+        fault_config = self.fault_config()
+        out["faults"] = None if fault_config is None else fault_config.to_dict()
         return out
 
     @classmethod

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the Telegraphos fabric.
+
+The paper's network is lossless and back-pressured (§2.1); this package
+opens the *unreliable fabric* scenario family.  A seeded
+:class:`FaultPlan` decides — reproducibly, independent of event
+interleaving — which packet traversals are dropped, corrupted,
+duplicated, or stalled, and when a HIB transiently hangs; the
+:class:`FaultInjector` applies the plan at named links and switch
+ports.  Tolerance is the job of the reliable HIB transport
+(:mod:`repro.hib.reliable`): sequence numbers, cumulative acks, NACK-
+and timeout-driven retransmission with capped exponential backoff, and
+graceful degradation into a structured :class:`NodeFailure` report when
+a peer stops answering.
+
+Configured through :class:`~repro.api.config.ClusterConfig`::
+
+    Cluster(ClusterConfig(n_nodes=4, faults={"seed": 7, "drop_rate": 1e-3}))
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    NodeFailure,
+    NodeUnreachableError,
+)
+from repro.faults.plan import (
+    CATEGORIES,
+    FaultConfig,
+    FaultDecision,
+    FaultPlan,
+    decision_fraction,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "FaultConfig",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeFailure",
+    "NodeUnreachableError",
+    "decision_fraction",
+]

@@ -1,0 +1,192 @@
+"""Deterministic fault schedules.
+
+The Telegraphos fabric is lossless by construction (§2.1: back-pressured
+flow control), so packet loss can only enter the simulation through an
+explicit, *reproducible* schedule.  A :class:`FaultPlan` makes every
+fault decision a pure function of ``(seed, category, site, packet
+ordinal)``: the n-th packet crossing a given link either suffers a given
+fault under a given seed or it never does, independent of event-loop
+interleaving, Python hash randomisation, or platform.  That is what lets
+the property harness print a failing seed and have anyone replay the
+exact same run.
+
+Randomness comes from BLAKE2b over the decision coordinates rather than
+a stateful PRNG: a shared ``random.Random`` would entangle the decision
+stream with simulation event order, silently breaking determinism the
+first time two links race.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def decision_fraction(seed: int, category: str, site: str, ordinal: int) -> float:
+    """A uniform draw in ``[0, 1)`` for one fault decision.
+
+    Pure and order-independent: the same coordinates always produce the
+    same fraction, on every platform.
+    """
+    payload = f"{seed}|{category}|{site}|{ordinal}".encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+#: The categories a packet-level fault can fall into, in decision
+#: precedence order (first matching category wins).
+CATEGORIES = ("drop", "corrupt", "duplicate", "stall")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Parsed form of ``ClusterConfig(faults={...})``.
+
+    Rates are per-traversal probabilities, evaluated independently at
+    every fault site (host links, inter-switch cables, switch input
+    ports) a packet crosses.
+    """
+
+    #: Seed for the whole schedule; two clusters with equal configs and
+    #: seeds inject byte-identical fault sequences.
+    seed: int = 0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    stall_rate: float = 0.0
+    #: Extra in-flight delay charged to a stalled packet.
+    stall_ns: int = 2_000
+    #: Restrict packet faults to sites whose name contains one of these
+    #: substrings (``None`` = every link and switch port).
+    sites: Optional[Tuple[str, ...]] = None
+    #: Forced, exactly-reproducible drops: ``(site substring, nth)``
+    #: drops the nth matching packet (1-based) at that site.  This is
+    #: the golden-trace hook: one forced drop, one nack, one retry.
+    drop_exact: Tuple[Tuple[str, int], ...] = ()
+    #: Transient HIB hangs: ``(node, at_ns, for_ns)`` windows during
+    #: which that node's servant loops stop draining their FIFOs.
+    hib_hangs: Tuple[Tuple[int, int, int], ...] = ()
+    #: Run the sequence/ack/retry protocol (repro.hib.reliable).  Off
+    #: means raw injected faults with no tolerance — useful to show the
+    #: checker catching the resulting incoherence.
+    reliability: bool = True
+
+    _KNOWN = (
+        "seed", "drop_rate", "corrupt_rate", "duplicate_rate", "stall_rate",
+        "stall_ns", "sites", "drop_exact", "hib_hangs", "reliability",
+    )
+
+    def __post_init__(self) -> None:
+        for rate_name in ("drop_rate", "corrupt_rate", "duplicate_rate",
+                          "stall_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_name} must be in [0, 1], got {rate}")
+        if self.stall_ns < 0:
+            raise ValueError("stall_ns must be non-negative")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultConfig":
+        unknown = set(data) - set(cls._KNOWN)
+        if unknown:
+            raise ValueError(
+                f"unknown fault config key(s) {sorted(unknown)}; "
+                f"known: {list(cls._KNOWN)}"
+            )
+        data = dict(data)
+        if data.get("sites") is not None:
+            data["sites"] = tuple(data["sites"])
+        data["drop_exact"] = tuple(
+            (entry["site"], entry["nth"]) if isinstance(entry, dict)
+            else tuple(entry)
+            for entry in data.get("drop_exact", ())
+        )
+        data["hib_hangs"] = tuple(
+            (entry["node"], entry["at_ns"], entry["for_ns"])
+            if isinstance(entry, dict) else tuple(entry)
+            for entry in data.get("hib_hangs", ())
+        )
+        return cls(**data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "stall_rate": self.stall_rate,
+            "stall_ns": self.stall_ns,
+            "sites": None if self.sites is None else list(self.sites),
+            "drop_exact": [list(e) for e in self.drop_exact],
+            "hib_hangs": [list(e) for e in self.hib_hangs],
+            "reliability": self.reliability,
+        }
+
+    @property
+    def any_packet_faults(self) -> bool:
+        return bool(
+            self.drop_rate or self.corrupt_rate or self.duplicate_rate
+            or self.stall_rate or self.drop_exact
+        )
+
+
+@dataclass
+class FaultDecision:
+    """What happens to one packet at one site."""
+
+    kind: str = "deliver"  # deliver | drop | corrupt | duplicate | stall
+    stall_ns: int = 0
+    forced: bool = False
+
+
+_DELIVER = FaultDecision()
+
+
+class FaultPlan:
+    """The per-seed schedule: maps (site, packet ordinal) → decision.
+
+    Holds the per-site traversal counters, so one plan instance must be
+    consulted exactly once per packet traversal per site — the
+    :class:`~repro.faults.injector.FaultInjector` owns that contract.
+    """
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+        self._ordinals: Dict[str, int] = {}
+        self._rates = [
+            (category, getattr(config, f"{category}_rate"))
+            for category in CATEGORIES
+        ]
+
+    def site_matches(self, site: str) -> bool:
+        sites = self.config.sites
+        if sites is None:
+            return True
+        return any(fragment in site for fragment in sites)
+
+    def decide(self, site: str) -> FaultDecision:
+        """Decision for the next packet crossing ``site``."""
+        ordinal = self._ordinals.get(site, 0) + 1
+        self._ordinals[site] = ordinal
+        for fragment, nth in self.config.drop_exact:
+            if fragment in site and ordinal == nth:
+                return FaultDecision(kind="drop", forced=True)
+        if not self.site_matches(site):
+            return _DELIVER
+        seed = self.config.seed
+        for category, rate in self._rates:
+            if rate and decision_fraction(seed, category, site, ordinal) < rate:
+                if category == "stall":
+                    return FaultDecision(kind="stall",
+                                         stall_ns=self.config.stall_ns)
+                return FaultDecision(kind=category)
+        return _DELIVER
+
+    def hang_remaining(self, node: int, now: int) -> int:
+        """Nanoseconds of HIB hang still ahead of ``node`` at ``now``."""
+        remaining = 0
+        for hang_node, at_ns, for_ns in self.config.hib_hangs:
+            if hang_node == node and at_ns <= now < at_ns + for_ns:
+                remaining = max(remaining, at_ns + for_ns - now)
+        return remaining

@@ -22,7 +22,11 @@ from repro.hib.atomic import AtomicOp
 from repro.hib.gatecount import GateCountModel
 from repro.hib.hib import HIB
 from repro.hib.multicast import MulticastTable
-from repro.hib.outstanding import OutstandingOps
+from repro.hib.outstanding import (
+    DestinationLog,
+    OutstandingOps,
+    OutstandingUnderflowError,
+)
 from repro.hib.page_counters import PageAccessCounters
 from repro.hib.registers import Reg
 from repro.hib.special import (
@@ -37,7 +41,9 @@ __all__ = [
     "HIB",
     "LaunchError",
     "MulticastTable",
+    "DestinationLog",
     "OutstandingOps",
+    "OutstandingUnderflowError",
     "PageAccessCounters",
     "Reg",
     "SpecialOpcode",

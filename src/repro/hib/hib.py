@@ -27,9 +27,11 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Optional
 
+from repro.faults.injector import NodeUnreachableError
 from repro.hib.atomic import apply_atomic
 from repro.hib.multicast import MulticastTable
 from repro.hib.outstanding import OutstandingOps
+from repro.hib.reliable import ReliableTransport
 from repro.hib.page_counters import PageAccessCounters
 from repro.hib.registers import Reg
 from repro.hib.special import (
@@ -63,6 +65,7 @@ class HIB:
         interrupts: Optional[InterruptController] = None,
         tracer: Optional[Tracer] = None,
         metrics: Any = None,
+        injector: Any = None,
     ):
         self.sim = sim
         self.params = params
@@ -120,8 +123,24 @@ class HIB:
         self._m_rsp_wait = self.metrics.histogram(
             "hib.reply_wait_ns", node=node_id
         )
+        #: Optional :class:`~repro.faults.FaultInjector` shared with
+        #: the fabric; drives transient HIB hangs in the servant loops.
+        self._injector = injector
+        #: The retry/timeout protocol (:mod:`repro.hib.reliable`).
+        #: Only built under fault injection; ``None`` keeps every send
+        #: and receive on the paper's raw lossless path.
+        self._transport: Optional[ReliableTransport] = (
+            ReliableTransport(self, injector)
+            if injector is not None and injector.config.reliability
+            else None
+        )
         self._service = sim.spawn(self._service_loop(), name=f"hib{node_id}.svc")
         self._replies = sim.spawn(self._reply_loop(), name=f"hib{node_id}.rsp")
+
+    @property
+    def transport(self) -> Optional[ReliableTransport]:
+        """The reliable transport, or ``None`` on a lossless fabric."""
+        return self._transport
 
     # ------------------------------------------------------------------
     # TurboChannel slave interface (called from the CPU's process)
@@ -190,6 +209,39 @@ class HIB:
     # Outgoing operations
     # ------------------------------------------------------------------
 
+    def _send(self, packet: Packet):
+        """Every outgoing packet funnels through here: the raw port on
+        a lossless fabric, the reliable transport under fault
+        injection.  Blocks (like the port) while the egress FIFO is
+        full — the §3.2 queueing either way."""
+        if self._transport is None:
+            yield self.port.send(packet)
+        else:
+            yield from self._transport.send(packet)
+
+    def abandon_packet(self, packet: Packet, peer: int) -> bool:
+        """Unwind the completion bookkeeping of a packet the reliable
+        transport gave up on (``peer`` declared unreachable).
+
+        Returns ``True`` if the packet's completion state was fully
+        recovered: a blocked read/atomic future fails with
+        :class:`~repro.faults.NodeUnreachableError`, and this node's
+        own writes/copies decrement the outstanding counter so FENCE
+        still resolves.  ``False`` means the loss is visible only as a
+        :class:`~repro.faults.NodeFailure` report (e.g. forwarded
+        coherence traffic whose counters live elsewhere)."""
+        if packet.op_id is not None and packet.op_id in self._pending:
+            future = self._pending.pop(packet.op_id)
+            future.set_exception(
+                NodeUnreachableError(self.node_id, peer, packet.op_id)
+            )
+            return True
+        if (packet.kind in (PacketKind.WRITE_REQ, PacketKind.COPY_REQ)
+                and packet.origin == self.node_id):
+            self.outstanding.decrement()
+            return True
+        return False
+
     def _issue_remote_write(self, home: int, offset: int, value: int, ack_to=None):
         self.stats["remote_writes"] += 1
         self.page_counters.on_access((home, self.amap.page_of(offset)), "write")
@@ -205,7 +257,7 @@ class HIB:
             injected_at=self.sim.now,
         )
         # Blocks while the outgoing FIFO is full — the §3.2 queueing.
-        yield self.port.send(packet)
+        yield from self._send(packet)
 
     def _blocking_remote_read(self, home: int, offset: int):
         self.stats["remote_reads"] += 1
@@ -224,7 +276,7 @@ class HIB:
             origin=self.node_id,
             injected_at=self.sim.now,
         )
-        yield self.port.send(packet)
+        yield from self._send(packet)
         value = yield future
         yield self._read_tokens.put(token)
         return value
@@ -250,12 +302,12 @@ class HIB:
             meta={"home": home, **(meta or {})},
             injected_at=self.sim.now,
         )
-        yield self.port.send(packet)
+        yield from self._send(packet)
 
     def send_packet(self, packet: Packet):
         """Coherence-engine helper: inject an arbitrary packet."""
         packet.injected_at = self.sim.now
-        yield self.port.send(packet)
+        yield from self._send(packet)
 
     # ------------------------------------------------------------------
     # Register file
@@ -410,7 +462,7 @@ class HIB:
             meta={"atomic": atomic, "op0": op0, "op1": op1},
             injected_at=self.sim.now,
         )
-        yield self.port.send(packet)
+        yield from self._send(packet)
         result = yield future
         return result
 
@@ -440,7 +492,7 @@ class HIB:
             meta={"dst_node": dst_home, "dst_offset": dst_offset},
             injected_at=self.sim.now,
         )
-        yield self.port.send(packet)
+        yield from self._send(packet)
         return 0
 
     def _after_home_atomic(self, offset: int, new: int, old: int):
@@ -481,6 +533,9 @@ class HIB:
         timing = self.params.timing
         while True:
             packet: Packet = yield self.port.receive()
+            yield from self._faulty_receive_gate()
+            if self._transport is not None and not self._transport.admit(packet):
+                continue
             self.stats["packets_served"] += 1
             if packet.injected_at is not None:
                 self._m_req_wait.observe(self.sim.now - packet.injected_at)
@@ -500,6 +555,18 @@ class HIB:
                 kind=packet.kind.name, src=packet.src,
             )
 
+    def _faulty_receive_gate(self):
+        """Transient HIB hangs (fault injection): a hung board stops
+        draining its FIFOs, so back-pressure builds behind it exactly
+        as it would behind a wedged real board."""
+        if self._injector is not None:
+            stall = self._injector.hang_remaining(self.node_id, self.sim.now)
+            if stall:
+                self.tracer.record(
+                    "hib_hang", node=self.node_id, for_ns=stall
+                )
+                yield stall
+
     def _reply_loop(self):
         """Reply-class servant: the dedicated response latch.  Replies
         resolve futures and acks decrement counters — cheap work on a
@@ -507,6 +574,9 @@ class HIB:
         timing = self.params.timing
         while True:
             packet: Packet = yield self.port.receive_reply()
+            yield from self._faulty_receive_gate()
+            if self._transport is not None and not self._transport.admit(packet):
+                continue
             self.stats["packets_served"] += 1
             if packet.injected_at is not None:
                 self._m_rsp_wait.observe(self.sim.now - packet.injected_at)
@@ -550,7 +620,7 @@ class HIB:
             op_id=packet.op_id,
             injected_at=self.sim.now,
         )
-        yield self.port.send(ack)
+        yield from self._send(ack)
 
     def _serve_read(self, packet: Packet):
         value = yield from self.backend.read(packet.address)
@@ -565,7 +635,7 @@ class HIB:
             op_id=packet.op_id,
             injected_at=self.sim.now,
         )
-        yield self.port.send(reply)
+        yield from self._send(reply)
 
     def _serve_atomic(self, packet: Packet):
         yield self.params.timing.hib_atomic_extra_ns
@@ -586,7 +656,7 @@ class HIB:
             op_id=packet.op_id,
             injected_at=self.sim.now,
         )
-        yield self.port.send(reply)
+        yield from self._send(reply)
         yield from self._after_home_atomic(packet.address, new, old)
 
     def _serve_copy(self, packet: Packet):
@@ -608,7 +678,7 @@ class HIB:
             origin=packet.origin,  # the copy's issuer gets the ack
             injected_at=self.sim.now,
         )
-        yield self.port.send(write)
+        yield from self._send(write)
 
     def _serve_reply(self, packet: Packet):
         future = self._pending.pop(packet.op_id, None)

@@ -13,13 +13,47 @@ counter-protocol writes awaiting their reflected write — increments
 the counter when issued and decrements it when its completion notice
 arrives.  A FENCE is a future that resolves when the counter reaches
 zero.
+
+Under fault injection (:mod:`repro.faults`) the completion machinery
+is also the recovery machinery: the reliable transport keeps
+per-destination delivery state here (:class:`DestinationLog` — acks,
+nacks, retransmissions, timeouts per peer), so "who still owes this
+node a completion" is answerable at any instant, and an underflow —
+one completion counted twice, exactly what a duplicated ack would
+cause without sequence-number dedup — raises
+:class:`OutstandingUnderflowError` instead of silently going negative.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.sim import Future
+
+
+class OutstandingUnderflowError(RuntimeError):
+    """A completion was counted that was never issued (double ack)."""
+
+
+@dataclass
+class DestinationLog:
+    """Per-peer delivery accounting for the retry protocol."""
+
+    sent: int = 0
+    acked: int = 0
+    nacks_received: int = 0
+    retransmits: int = 0
+    timeouts: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent,
+            "acked": self.acked,
+            "nacks_received": self.nacks_received,
+            "retransmits": self.retransmits,
+            "timeouts": self.timeouts,
+        }
 
 
 class OutstandingOps:
@@ -32,6 +66,9 @@ class OutstandingOps:
         # Statistics.
         self.total_issued = 0
         self.max_outstanding = 0
+        #: Per-destination ack/nack log, populated only by the
+        #: reliable transport (empty on a fault-free fabric).
+        self.destinations: Dict[int, DestinationLog] = {}
 
     @property
     def count(self) -> int:
@@ -51,7 +88,7 @@ class OutstandingOps:
 
     def decrement(self, n: int = 1) -> None:
         if n > self._count:
-            raise RuntimeError(
+            raise OutstandingUnderflowError(
                 f"node {self.node_id}: outstanding-op underflow "
                 f"({self._count} - {n}); a completion was double-counted"
             )
@@ -69,3 +106,15 @@ class OutstandingOps:
         else:
             self._fences.append(future)
         return future
+
+    # -- per-destination delivery log (reliable transport) -------------
+
+    def destination(self, dst: int) -> DestinationLog:
+        log = self.destinations.get(dst)
+        if log is None:
+            log = self.destinations[dst] = DestinationLog()
+        return log
+
+    def destinations_snapshot(self) -> Dict[int, Dict[str, int]]:
+        return {dst: log.to_dict()
+                for dst, log in sorted(self.destinations.items())}

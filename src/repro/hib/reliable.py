@@ -1,0 +1,379 @@
+"""The reliable HIB transport: sequence numbers, acks, retry, backoff.
+
+Telegraphos never needed this — its links are lossless and
+back-pressured (§2.1) — but the paper's completion-detection machinery
+(outstanding-operation counters and FENCE, §2.2/§2.3.5) is exactly the
+hardware a real cluster fabric builds retransmission on (cf. Yu et
+al.'s NIC-based collective protocol; APEnet+).  When fault injection
+(:mod:`repro.faults`) is configured, every HIB wraps its network port
+in a :class:`ReliableTransport`:
+
+**Sender side** — each ``(destination, plane)`` pair is a *channel*.
+Outgoing packets get a per-channel sequence number and are held in the
+channel's retransmit window until cumulatively acknowledged.  A
+per-channel :class:`~repro.sim.Timer` drives timeout recovery; an
+incoming NACK drives immediate recovery.  Either way the whole window
+is retransmitted (go-back-N — cheap because the fabric preserves
+per-plane FIFO order, so a gap can only mean loss), after a capped
+exponential backoff, with the timeout itself backing off too.  After
+``retry_limit`` consecutive retransmissions of the same window the
+peer is declared unreachable: the window is abandoned, outstanding-op
+counts for abandoned writes are unwound (so FENCE still resolves),
+pending read/atomic futures fail with
+:class:`~repro.faults.NodeUnreachableError`, and a structured
+:class:`~repro.faults.NodeFailure` lands in ``cluster.stats()``.
+
+**Receiver side** — per ``(source, plane)`` the transport admits
+exactly the in-order prefix of the sequence space: duplicates are
+discarded (and re-acked — the ack may have been the lost packet),
+gaps trigger one NACK per missing sequence number, corrupted packets
+(simulated checksum failure) are treated as loss.  Every admitted
+packet is cumulatively acknowledged with an ``LL_ACK`` control packet;
+control packets are themselves unsequenced — their loss is recovered
+by the peer's timeout, which breaks the ack-of-ack regress.
+
+With faults off the transport is never constructed and every code path
+in this module is dead: the fabric behaves bit-identically to the
+lossless model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Deque, Dict, Optional, Tuple
+
+import collections
+
+from repro.faults.injector import NodeFailure, NodeUnreachableError
+from repro.network.packet import Packet, PacketKind
+from repro.sim import BoundedQueue, Future, Timer
+
+#: A channel key: (peer node id, virtual-network plane).
+ChannelKey = Tuple[int, str]
+
+
+def plane_of(packet: Packet) -> str:
+    return "rsp" if packet.kind.is_reply else "req"
+
+
+class _Channel:
+    """Sender-side state for one (destination, plane) pair."""
+
+    __slots__ = ("dst", "plane", "next_seq", "unacked", "timer", "retries",
+                 "retransmitting", "waiters", "dead")
+
+    def __init__(self, dst: int, plane: str):
+        self.dst = dst
+        self.plane = plane
+        self.next_seq = 0
+        self.unacked: Deque[Packet] = collections.deque()
+        self.timer: Optional[Timer] = None
+        #: Consecutive retransmissions of the current window (reset on
+        #: any ack progress) — the backoff exponent.
+        self.retries = 0
+        self.retransmitting = False
+        #: Sends blocked while a retransmission is in flight, so new
+        #: sequence numbers cannot overtake the retransmitted window.
+        self.waiters: list = []
+        self.dead = False
+
+
+class ReliableTransport:
+    """Reliable delivery for one HIB over an unreliable fabric."""
+
+    def __init__(self, hib, injector):
+        self.hib = hib
+        self.sim = hib.sim
+        self.port = hib.port
+        self.params = hib.params
+        self.node_id = hib.node_id
+        self.injector = injector
+        self.tracer = hib.tracer
+        self.outstanding = hib.outstanding
+
+        self._channels: Dict[ChannelKey, _Channel] = {}
+        #: Receiver state: next expected seq per (source, plane).
+        self._expected: Dict[ChannelKey, int] = {}
+        #: The seq we last NACKed per (source, plane) — one NACK per gap.
+        self._last_nacked: Dict[ChannelKey, Optional[int]] = {}
+
+        sizing = self.params.sizing
+        self._ctrl = BoundedQueue(
+            sizing.ll_control_queue, name=f"hib{self.node_id}.llctrl"
+        )
+        self._ctrl_pump = self.sim.spawn(
+            self._control_loop(), name=f"hib{self.node_id}.llctrl"
+        )
+
+        metrics = hib.metrics
+        timing = self.params.timing
+        self._m_retransmits = metrics.counter("hib.retransmits",
+                                              node=self.node_id)
+        self._m_timeouts = metrics.counter("hib.timeouts", node=self.node_id)
+        self._m_nacks_sent = metrics.counter("hib.nacks_sent",
+                                             node=self.node_id)
+        self._m_nacks_received = metrics.counter("hib.nacks_received",
+                                                 node=self.node_id)
+        self._m_duplicates = metrics.counter("hib.duplicates_discarded",
+                                             node=self.node_id)
+        self._m_corrupt = metrics.counter("hib.corrupt_discarded",
+                                          node=self.node_id)
+        self._m_acks_dropped = metrics.counter("hib.ll_acks_dropped",
+                                               node=self.node_id)
+        base = timing.retry_backoff_ns
+        self._m_backoff = metrics.histogram(
+            "hib.backoff_ns", node=self.node_id,
+            buckets=tuple(base << k for k in range(6)),
+        )
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+
+    def _channel(self, dst: int, plane: str) -> _Channel:
+        key = (dst, plane)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = self._channels[key] = _Channel(dst, plane)
+            channel.timer = Timer(
+                self.sim, lambda ch=channel: self._on_timeout(ch),
+                name=f"hib{self.node_id}.rto.{dst}.{plane}",
+            )
+        return channel
+
+    def send(self, packet: Packet):
+        """Sequenced, retransmit-buffered send (a process generator)."""
+        channel = self._channel(packet.dst, plane_of(packet))
+        if channel.dead:
+            yield 0
+            self.hib.abandon_packet(packet, channel.dst)
+            return
+        while channel.retransmitting:
+            gate = Future()
+            channel.waiters.append(gate)
+            yield gate
+            if channel.dead:
+                self.hib.abandon_packet(packet, channel.dst)
+                return
+        packet.seq = channel.next_seq
+        channel.next_seq += 1
+        channel.unacked.append(packet)
+        self.outstanding.destination(channel.dst).sent += 1
+        if not channel.timer.armed:
+            channel.timer.start(self._timeout_ns(channel))
+        yield self.port.send(packet)
+
+    def _timeout_ns(self, channel: _Channel) -> int:
+        timing = self.params.timing
+        return min(timing.retry_timeout_ns << channel.retries,
+                   timing.retry_timeout_cap_ns)
+
+    def _backoff_ns(self, channel: _Channel) -> int:
+        timing = self.params.timing
+        return min(timing.retry_backoff_ns << (channel.retries - 1),
+                   timing.retry_backoff_cap_ns)
+
+    def _on_ack(self, channel: _Channel, upto: int) -> None:
+        progressed = False
+        log = self.outstanding.destination(channel.dst)
+        while channel.unacked and channel.unacked[0].seq <= upto:
+            channel.unacked.popleft()
+            log.acked += 1
+            progressed = True
+        if progressed:
+            channel.retries = 0
+        if channel.unacked:
+            if not channel.retransmitting:
+                channel.timer.start(self._timeout_ns(channel))
+        else:
+            channel.timer.cancel()
+
+    def _on_nack(self, channel: _Channel, expected: int) -> None:
+        self._m_nacks_received.inc()
+        self.outstanding.destination(channel.dst).nacks_received += 1
+        # Everything below the requested seq was delivered.
+        self._on_ack(channel, expected - 1)
+        self._recover(channel, reason="nack")
+
+    def _on_timeout(self, channel: _Channel) -> None:
+        if not channel.unacked or channel.dead or channel.retransmitting:
+            return
+        self._m_timeouts.inc()
+        self.outstanding.destination(channel.dst).timeouts += 1
+        self.tracer.record(
+            "retry_timeout", node=self.node_id, dst=channel.dst,
+            plane=channel.plane, pending=len(channel.unacked),
+        )
+        self._recover(channel, reason="timeout")
+
+    def _recover(self, channel: _Channel, reason: str) -> None:
+        """Retransmit the whole unacked window after a backoff."""
+        if channel.retransmitting or channel.dead or not channel.unacked:
+            return
+        channel.retries += 1
+        if channel.retries > self.params.sizing.retry_limit:
+            self._declare_dead(channel.dst, channel.retries - 1)
+            return
+        backoff = self._backoff_ns(channel)
+        self._m_backoff.observe(backoff)
+        self.tracer.record(
+            "retransmit", node=self.node_id, dst=channel.dst,
+            plane=channel.plane, reason=reason, retry=channel.retries,
+            backoff_ns=backoff, from_seq=channel.unacked[0].seq,
+            count=len(channel.unacked),
+        )
+        channel.retransmitting = True
+        channel.timer.cancel()
+        self.sim.spawn(
+            self._retransmit(channel, backoff),
+            name=f"hib{self.node_id}.retx.{channel.dst}.{channel.plane}",
+        )
+
+    def _retransmit(self, channel: _Channel, backoff: int):
+        yield backoff
+        log = self.outstanding.destination(channel.dst)
+        for packet in list(channel.unacked):
+            if channel.dead:
+                break
+            clone = replace(packet, corrupted=False,
+                            injected_at=self.sim.now)
+            self._m_retransmits.inc()
+            log.retransmits += 1
+            yield self.port.send(clone)
+        channel.retransmitting = False
+        waiters, channel.waiters = channel.waiters, []
+        for gate in waiters:
+            gate.set_result(None)
+        if channel.unacked and not channel.dead:
+            channel.timer.start(self._timeout_ns(channel))
+
+    # ------------------------------------------------------------------
+    # Failure degradation
+    # ------------------------------------------------------------------
+
+    def _declare_dead(self, peer: int, retries: int) -> None:
+        lost: Dict[str, int] = {}
+        unrecovered = 0
+        for plane in ("req", "rsp"):
+            channel = self._channels.get((peer, plane))
+            if channel is None:
+                continue
+            channel.dead = True
+            channel.timer.cancel()
+            while channel.unacked:
+                packet = channel.unacked.popleft()
+                lost[packet.kind.name] = lost.get(packet.kind.name, 0) + 1
+                if not self.hib.abandon_packet(packet, peer):
+                    unrecovered += 1
+            waiters, channel.waiters = channel.waiters, []
+            for gate in waiters:
+                gate.set_result(None)
+        failure = NodeFailure(
+            reporter=self.node_id, peer=peer, at_ns=self.sim.now,
+            retries=retries, lost_packets=lost, unrecovered=unrecovered,
+        )
+        self.injector.record_failure(failure)
+
+    def dead_peers(self):
+        return sorted({dst for (dst, _), ch in self._channels.items()
+                       if ch.dead})
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+
+    def admit(self, packet: Packet) -> bool:
+        """Receiver filter: True iff the HIB should process ``packet``.
+
+        Runs synchronously in the servant loop, before any simulated
+        decode time; control sends are queued on the control pump.
+        """
+        if packet.kind.is_ll_control:
+            if not packet.corrupted:
+                self._handle_control(packet)
+            else:
+                self._m_corrupt.inc()
+            return False
+        if packet.seq is None:
+            # Unsequenced traffic (e.g. a peer without the retry
+            # protocol): deliver as-is.
+            return not packet.corrupted
+        key = (packet.src, plane_of(packet))
+        expected = self._expected.get(key, 0)
+        if packet.corrupted:
+            # Checksum failure: indistinguishable from loss.
+            self._m_corrupt.inc()
+            self._nack_once(key, packet, expected)
+            return False
+        if packet.seq == expected:
+            self._expected[key] = expected + 1
+            self._last_nacked[key] = None
+            self._queue_control(PacketKind.LL_ACK, packet.src, key[1],
+                               expected)
+            return True
+        if packet.seq < expected:
+            # Duplicate (injected, or a retransmission that crossed the
+            # ack): discard, but re-ack — the ack may have been lost.
+            self._m_duplicates.inc()
+            self._queue_control(PacketKind.LL_ACK, packet.src, key[1],
+                               expected - 1)
+            return False
+        # Gap: in-order fabric means the missing packets are gone.
+        self._nack_once(key, packet, expected)
+        return False
+
+    def _nack_once(self, key: ChannelKey, packet: Packet,
+                   expected: int) -> None:
+        if self._last_nacked.get(key) == expected:
+            return
+        self._last_nacked[key] = expected
+        self._m_nacks_sent.inc()
+        self.tracer.record(
+            "nack", node=self.node_id, src=packet.src, plane=key[1],
+            expected=expected, got=packet.seq,
+        )
+        self._queue_control(PacketKind.LL_NACK, packet.src, key[1], expected)
+
+    def _handle_control(self, packet: Packet) -> None:
+        plane = packet.meta["plane"]
+        channel = self._channel(packet.src, plane)
+        if channel.dead:
+            return
+        if packet.kind is PacketKind.LL_ACK:
+            self._on_ack(channel, packet.meta["seq"])
+        else:
+            self._on_nack(channel, packet.meta["seq"])
+
+    def _queue_control(self, kind: PacketKind, dst: int, plane: str,
+                       seq: int) -> None:
+        control = Packet(
+            kind, src=self.node_id, dst=dst,
+            size_bytes=self.params.packets.ll_control,
+            meta={"plane": plane, "seq": seq},
+            injected_at=self.sim.now,
+        )
+        if not self._ctrl.try_put(control):
+            # Recovered by the peer's retransmission timeout.
+            self._m_acks_dropped.inc()
+
+    def _control_loop(self):
+        while True:
+            packet = yield self._ctrl.get()
+            yield self.port.send(packet)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "destinations": self.outstanding.destinations_snapshot(),
+            "dead_peers": self.dead_peers(),
+            "windows": {
+                f"{dst}.{plane}": len(ch.unacked)
+                for (dst, plane), ch in sorted(self._channels.items())
+            },
+        }
+
+
+__all__ = ["ReliableTransport", "NodeUnreachableError", "plane_of"]

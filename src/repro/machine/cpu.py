@@ -27,6 +27,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Optional
 
+from repro.faults.injector import NodeUnreachableError
 from repro.machine.addresses import AddressMap, Region
 from repro.machine.bus import Bus
 from repro.machine.cache import DirectMappedCache
@@ -200,6 +201,13 @@ class CPU:
                 else:
                     throw = ProtectionViolation(fault)
                     result = None
+            except NodeUnreachableError as err:
+                # The retry protocol declared the home node dead while
+                # this program's operation was pending (fault
+                # injection).  Delivered into the program like a bus
+                # error — catchable; uncaught it kills the program.
+                throw = err
+                result = None
 
     def _release(self, ctx: ProgramContext) -> None:
         self.programs.pop(ctx.name, None)

@@ -80,7 +80,7 @@ class Fabric:
     """Builds and owns every switch and link of the cluster network."""
 
     def __init__(self, sim: Simulator, params: Params, topology: Topology,
-                 tracer=None):
+                 tracer=None, injector=None):
         topology.validate()
         self.sim = sim
         self.params = params
@@ -88,6 +88,10 @@ class Fabric:
         #: Optional tracer handed to every link for activity-lane
         #: spans (see :meth:`repro.sim.Tracer.span`).
         self.tracer = tracer
+        #: Optional :class:`~repro.faults.FaultInjector`, handed to
+        #: every link and switch (they are the fault sites).  ``None``
+        #: (the default) is the paper's lossless fabric.
+        self.injector = injector
         #: switches[vc][switch_id]
         self.switches: Dict[str, Dict[object, Switch]] = {vc: {} for vc in VCS}
         self.links: List[Link] = []
@@ -102,7 +106,8 @@ class Fabric:
         for vc in VCS:
             for switch_id in topo.switch_ids:
                 self.switches[vc][switch_id] = Switch(
-                    self.sim, self.params, f"{switch_id}.{vc}"
+                    self.sim, self.params, f"{switch_id}.{vc}",
+                    injector=self.injector,
                 )
 
         # Host attachments per VC.
@@ -121,7 +126,8 @@ class Fabric:
                 self.links.append(
                     Link(self.sim, timing, egress, switch_in,
                          name=f"host{node_id}->sw.{vc}",
-                         node=node_id, tracer=self.tracer)
+                         node=node_id, tracer=self.tracer,
+                         injector=self.injector)
                 )
                 to_host = BoundedQueue(
                     sizing.link_credits, name=f"sw->host{node_id}.buf.{vc}"
@@ -130,7 +136,8 @@ class Fabric:
                 self.links.append(
                     Link(self.sim, timing, to_host, ingress,
                          name=f"sw->host{node_id}.{vc}",
-                         node=node_id, tracer=self.tracer)
+                         node=node_id, tracer=self.tracer,
+                         injector=self.injector)
                 )
                 host_queues[node_id]["egress"][vc] = egress
                 host_queues[node_id]["ingress"][vc] = ingress
@@ -164,7 +171,8 @@ class Fabric:
         dst_in = dst.add_input(("switch", src_id))
         self.links.append(
             Link(self.sim, timing, buffer, dst_in,
-                 name=f"sw{src_id}->sw{dst_id}.{vc}", tracer=self.tracer)
+                 name=f"sw{src_id}->sw{dst_id}.{vc}", tracer=self.tracer,
+                 injector=self.injector)
         )
 
     # -- API -------------------------------------------------------------

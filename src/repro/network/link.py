@@ -10,6 +10,13 @@ exactly the paper's "back-pressured flow control" (§2.1).
 
 Because a link is a single simulation process draining a FIFO, it
 trivially preserves order.
+
+A link is also a **fault site**: when a
+:class:`~repro.faults.FaultInjector` is attached, each packet's
+traversal may — per the injector's deterministic schedule — be
+dropped, marked corrupted, duplicated, or stalled in flight.  Without
+an injector (the default) none of those branches is ever taken and the
+link is the paper's lossless wire.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ class Link:
         name: str = "link",
         node: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        injector=None,
     ):
         self.sim = sim
         self.timing = timing
@@ -48,6 +56,9 @@ class Link:
         #: activity lane to a node in trace exports.
         self.node = node
         self.tracer = tracer
+        #: Optional :class:`~repro.faults.FaultInjector`; ``None``
+        #: means lossless delivery with zero per-packet overhead.
+        self.injector = injector
         self.packets_carried = 0
         self.bytes_carried = 0
         self.busy_ns = 0
@@ -72,11 +83,28 @@ class Link:
     def _propagate(self):
         timing = self.timing
         tracer = self.tracer
+        injector = self.injector
         while True:
             started, packet = yield self._wire.get()
             yield timing.link_prop_ns
-            # Blocks while the downstream buffer is full: back-pressure.
-            yield self.dst.put(packet)
+            deliveries = 1
+            if injector is not None:
+                action = injector.action_for(self.name, packet)
+                if action.kind == "drop":
+                    continue
+                if action.kind == "corrupt":
+                    # Model an in-flight bit error as a flag, never by
+                    # mutating the payload: the sender's retransmit
+                    # window holds the same Packet object.
+                    packet.corrupted = True
+                elif action.kind == "duplicate":
+                    deliveries = 2
+                elif action.kind == "stall":
+                    yield action.stall_ns
+            for _ in range(deliveries):
+                # Blocks while the downstream buffer is full:
+                # back-pressure.
+                yield self.dst.put(packet)
             self.packets_carried += 1
             self.bytes_carried += packet.size_bytes
             if tracer is not None:

@@ -16,6 +16,12 @@ mirroring §2.2 of the paper:
 - ``WRITE_ACK`` — completion notice used by the outstanding-operation
   counters that implement FENCE (§2.3.5).
 - ``RING_UPDATE`` — Galactica-baseline ring traversal packet (§2.4).
+- ``LL_ACK`` / ``LL_NACK`` — link-level control packets of the
+  retry/timeout protocol (:mod:`repro.hib.reliable`): a cumulative
+  acknowledgement, and a retransmit request naming the next expected
+  sequence number.  They exist only when fault injection is enabled,
+  are never themselves sequenced or acknowledged, and ride the
+  response plane so congested request traffic cannot delay recovery.
 
 Packets carry their wire size so links can charge serialization time.
 """
@@ -38,6 +44,8 @@ class PacketKind(enum.Enum):
     UPDATE = "update"
     WRITE_ACK = "write_ack"
     RING_UPDATE = "ring_update"
+    LL_ACK = "ll_ack"
+    LL_NACK = "ll_nack"
 
     @property
     def is_reply(self) -> bool:
@@ -50,7 +58,16 @@ class PacketKind(enum.Enum):
             PacketKind.READ_REPLY,
             PacketKind.ATOMIC_REPLY,
             PacketKind.WRITE_ACK,
+            PacketKind.LL_ACK,
+            PacketKind.LL_NACK,
         )
+
+    @property
+    def is_ll_control(self) -> bool:
+        """Link-level control packets are outside the sequence space:
+        they are never acknowledged (loss is recovered by the sender's
+        retransmission timeout, cf. Yu et al.'s NIC-based protocol)."""
+        return self in (PacketKind.LL_ACK, PacketKind.LL_NACK)
 
 
 _packet_ids = itertools.count()
@@ -80,6 +97,14 @@ class Packet:
     pid: int = field(default_factory=lambda: next(_packet_ids))
     #: Timestamp of injection into the fabric (set by the sender).
     injected_at: Optional[int] = None
+    #: Per-(destination, plane) sequence number, assigned by the
+    #: reliable transport (:mod:`repro.hib.reliable`); ``None`` when
+    #: the retry protocol is off (the default, fault-free fabric).
+    seq: Optional[int] = None
+    #: Set by the fault injector to model an in-flight bit error; the
+    #: reliable transport treats a corrupted packet as lost (checksum
+    #: failure) and requests retransmission.
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:

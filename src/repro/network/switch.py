@@ -41,10 +41,15 @@ class Switch:
     :meth:`install_routes` before traffic starts.
     """
 
-    def __init__(self, sim: Simulator, params: Params, switch_id: object):
+    def __init__(self, sim: Simulator, params: Params, switch_id: object,
+                 injector=None):
         self.sim = sim
         self.params = params
         self.switch_id = switch_id
+        #: Optional :class:`~repro.faults.FaultInjector`: input ports
+        #: are fault sites (named ``sw{id}.in.{label}``), modelling
+        #: errors inside the switch datapath rather than on the wire.
+        self.injector = injector
         self._inputs: Dict[object, BoundedQueue] = {}
         self._outputs: Dict[NextHop, BoundedQueue] = {}
         self._routes: Dict[int, NextHop] = {}
@@ -104,9 +109,21 @@ class Switch:
         /slow-path asymmetry physically possible."""
         route_ns = self.params.timing.switch_route_ns
         label = in_queue.name
+        injector = self.injector
         voqs: Dict[NextHop, BoundedQueue] = {}
         while True:
             packet: Packet = yield in_queue.get()
+            deliveries = 1
+            if injector is not None:
+                action = injector.action_for(label, packet)
+                if action.kind == "drop":
+                    continue
+                if action.kind == "corrupt":
+                    packet.corrupted = True
+                elif action.kind == "duplicate":
+                    deliveries = 2
+                elif action.kind == "stall":
+                    yield action.stall_ns
             hop = self._routes.get(packet.dst)
             if hop is None:
                 raise RuntimeError(
@@ -129,8 +146,9 @@ class Switch:
                     self._voq_pump(voq, self._outputs[hop]),
                     name=f"{label}.pump.{hop}",
                 )
-            # Blocks only when THIS destination's VOQ is full.
-            yield voq.put(packet)
+            for _ in range(deliveries):
+                # Blocks only when THIS destination's VOQ is full.
+                yield voq.put(packet)
 
     def _voq_pump(self, voq: BoundedQueue, out_queue: BoundedQueue):
         """Move one VOQ's packets into the shared buffer / output

@@ -31,7 +31,7 @@ guards and costs one no-op method call at most.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim import Accumulator
 
@@ -89,24 +89,40 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution of scalar samples (latencies, sizes)."""
+    """A distribution of scalar samples (latencies, sizes).
 
-    __slots__ = ("name", "tags", "acc")
+    An optional ``buckets`` sequence of upper bounds adds a cumulative
+    bucket breakdown to the snapshot (``{"<=5000": 3, ..., "inf": 7}``)
+    — used where the *shape* of the distribution is the point, e.g. the
+    retransmission backoff histogram of :mod:`repro.hib.reliable`.
+    """
+
+    __slots__ = ("name", "tags", "acc", "buckets")
 
     kind = "histogram"
 
-    def __init__(self, name: str, tags: Dict[str, Any]):
+    def __init__(self, name: str, tags: Dict[str, Any],
+                 buckets: Optional[Sequence[float]] = None):
         self.name = name
         self.tags = tags
         self.acc = Accumulator(name)
+        self.buckets = tuple(sorted(buckets)) if buckets else None
 
     def observe(self, value: float) -> None:
         self.acc.add(value)
 
-    def snapshot_value(self) -> Dict[str, float]:
+    def snapshot_value(self) -> Dict[str, Any]:
         if not self.acc.count:
             return {"count": 0}
-        return self.acc.summary()
+        out: Dict[str, Any] = self.acc.summary()
+        if self.buckets is not None:
+            samples = self.acc.samples
+            out["buckets"] = {
+                f"<={bound:g}": sum(1 for s in samples if s <= bound)
+                for bound in self.buckets
+            }
+            out["buckets"]["inf"] = len(samples)
+        return out
 
 
 class _NullMetric:
@@ -154,13 +170,13 @@ class MetricsRegistry:
 
     # -- instrument factories -------------------------------------------
 
-    def _get(self, cls, name: str, tags: Dict[str, Any]):
+    def _get(self, cls, name: str, tags: Dict[str, Any], **extra: Any):
         if not self.enabled:
             return NULL_METRIC
         key = (name, tuple(sorted(tags.items())))
         metric = self._metrics.get(key)
         if metric is None:
-            metric = cls(name, tags)
+            metric = cls(name, tags, **extra)
             self._metrics[key] = metric
         elif not isinstance(metric, cls):
             raise TypeError(
@@ -175,8 +191,10 @@ class MetricsRegistry:
     def gauge(self, name: str, **tags: Any) -> Gauge:
         return self._get(Gauge, name, tags)
 
-    def histogram(self, name: str, **tags: Any) -> Histogram:
-        return self._get(Histogram, name, tags)
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **tags: Any) -> Histogram:
+        return self._get(Histogram, name, tags, buckets=buckets)
 
     def gauge_fn(self, name: str, fn: Callable[[], Any], **tags: Any) -> None:
         """Register a callback gauge: ``fn()`` is evaluated only at

@@ -109,6 +109,23 @@ class TimingParams:
     #: link model).
     switch_route_ns: int = 240
 
+    # --- Retry/timeout protocol (fault-tolerant HIB transport) ---------
+    # Telegraphos assumes lossless back-pressured links (S2.1); the
+    # retry protocol only engages when fault injection (repro.faults)
+    # is configured, so these numbers are protocol tuning, not paper
+    # calibration.
+    #: Base retransmission timeout per destination channel.  Sized
+    #: well above the S3.2 remote-read round trip (7.2 us) so a
+    #: healthy fabric never times out.
+    retry_timeout_ns: int = 60_000
+    #: Retransmission-timeout ceiling under exponential growth.
+    retry_timeout_cap_ns: int = 500_000
+    #: Backoff before the first retransmission; doubles per
+    #: consecutive retry of the same window.
+    retry_backoff_ns: int = 5_000
+    #: Backoff ceiling (capped exponential backoff).
+    retry_backoff_cap_ns: int = 80_000
+
     # --- Operating system model (documented mid-90s OSF/1 magnitudes) --
     #: User→kernel trap plus return (syscall overhead).
     os_trap_ns: int = 20_000
@@ -166,6 +183,12 @@ class SizingParams:
     #: Maximum outstanding remote reads (§2.3.5 footnote: "no more
     #: than one outstanding read operation").
     max_outstanding_reads: int = 1
+    #: Consecutive retransmissions of one window before the peer is
+    #: declared unreachable (a structured NodeFailure report).
+    retry_limit: int = 10
+    #: Depth of the link-level control (ack/nack) send queue; an
+    #: overflowing ack is dropped and recovered by the peer's timeout.
+    ll_control_queue: int = 1024
 
     @property
     def page_words(self) -> int:
@@ -220,6 +243,11 @@ class PacketSizes:
     @property
     def ack(self) -> int:
         return self.header
+
+    @property
+    def ll_control(self) -> int:
+        # Link-level ack/nack: header + plane tag + cumulative seq.
+        return self.header + self.word
 
 
 @dataclass(frozen=True)

@@ -26,6 +26,7 @@ from repro.sim.kernel import (
     Waitable,
 )
 from repro.sim.queues import BoundedQueue, QueueClosed
+from repro.sim.timers import Timer
 from repro.sim.trace import Accumulator, Tracer
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "QueueClosed",
     "SimulationDeadlock",
     "Simulator",
+    "Timer",
     "Tracer",
     "Waitable",
 ]

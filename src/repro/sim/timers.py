@@ -1,0 +1,70 @@
+"""Restartable one-shot timers.
+
+The retry/timeout machinery of the reliable HIB transport
+(:mod:`repro.hib.reliable`) needs a timer that can be armed, pushed
+back, and cancelled many times over its life — the classic
+retransmission timer of every reliable link protocol.  Building it on
+:meth:`~repro.sim.kernel.Simulator.schedule` plus
+:class:`~repro.sim.kernel.EventHandle` cancellation keeps the event
+heap clean (a superseded expiry is cancelled, not filtered at fire
+time) and the behaviour fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import EventHandle, Simulator
+
+
+class Timer:
+    """A one-shot timer that may be restarted or cancelled.
+
+    ``callback`` runs at expiry with no arguments.  ``start`` arms the
+    timer (re-arming replaces any pending expiry); ``cancel`` disarms
+    it.  The callback runs as a plain scheduled event — spawn a
+    process from it if the reaction needs to block.
+    """
+
+    __slots__ = ("sim", "callback", "name", "_handle", "_generation")
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any],
+                 name: str = "timer"):
+        self.sim = sim
+        self.callback = callback
+        self.name = name
+        self._handle: Optional[EventHandle] = None
+        # Stale-expiry guard: an event that was scheduled before a
+        # restart/cancel carries an old generation and is ignored.
+        self._generation = 0
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None
+
+    @property
+    def deadline(self) -> Optional[int]:
+        """Absolute expiry time, or ``None`` when disarmed."""
+        return self._handle.time if self._handle is not None else None
+
+    def start(self, delay_ns: int) -> None:
+        """Arm (or re-arm) the timer ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise ValueError("timer delay must be non-negative")
+        self.cancel()
+        generation = self._generation
+        self._handle = self.sim.schedule(delay_ns, self._fire, generation)
+
+    def cancel(self) -> None:
+        """Disarm; a pending expiry will not fire."""
+        self._generation += 1
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self, generation: int) -> None:
+        if generation != self._generation or self._handle is None:
+            return
+        self._handle = None
+        self._generation += 1
+        self.callback()

@@ -1,0 +1,91 @@
+"""Golden trace for the retry protocol.
+
+One forced drop of a known request packet must produce *exactly* one
+nack, one go-back-N retransmission with the first backoff step, and an
+unchanged final memory image — asserted field by field, so any drift
+in the protocol's event sequence shows up as a diff against this file.
+"""
+
+from repro.api import Cluster, ClusterConfig
+from repro.obs import chrome_trace
+from repro.params import DEFAULT_PARAMS
+
+N_WRITES = 8
+
+
+def run(faults=None):
+    cluster = Cluster(ClusterConfig(n_nodes=2, protocol="none",
+                                    faults=faults))
+    seg = cluster.alloc_segment(home=1, pages=1, name="g")
+    proc = cluster.create_process(node=0, name="g")
+    base = proc.map(seg, mode="remote")
+
+    def program(p):
+        for i in range(N_WRITES):
+            yield p.store(base + 4 * i, 100 + i)
+        yield p.fence()
+
+    cluster.run(join=[cluster.start(proc, program)])
+    cluster.assert_quiescent()
+    return cluster
+
+
+GOLDEN_FAULTS = {"seed": 1, "drop_exact": [["host0->sw.req", 2]]}
+
+
+def test_single_drop_produces_one_nack_one_retransmission():
+    clean = run()
+    cluster = run(GOLDEN_FAULTS)
+    assert (tuple(cluster.nodes[1].backend.memory.written_words())
+            == tuple(clean.nodes[1].backend.memory.written_words()))
+
+    # Exactly one injected drop: the second traversal of host0's
+    # request link, which carries WRITE_REQ seq=1.
+    drops = cluster.tracer.select("fault_drop")
+    assert len(drops) == 1
+    assert drops[0].site == "host0->sw.req"
+    assert drops[0].kind == "WRITE_REQ"
+    assert (drops[0].src, drops[0].dst, drops[0].seq) == (0, 1, 1)
+
+    # The home sees seq=2 while expecting seq=1 and nacks once.
+    nacks = cluster.tracer.select("nack")
+    assert len(nacks) == 1
+    assert nacks[0].node == 1
+    assert (nacks[0].expected, nacks[0].got) == (1, 2)
+    assert nacks[0].plane == "req"
+
+    # One recovery: first retry, first backoff step, and go-back-N
+    # resends the whole open window from the lost packet on.
+    retransmits = cluster.tracer.select("retransmit")
+    assert len(retransmits) == 1
+    event = retransmits[0]
+    assert event.node == 0
+    assert event.dst == 1
+    assert event.reason == "nack"
+    assert event.retry == 1
+    assert event.backoff_ns == DEFAULT_PARAMS.timing.retry_backoff_ns
+    assert event.from_seq == 1
+    assert event.count == N_WRITES - 1
+
+    metrics = cluster.stats()["metrics"]
+    assert metrics["hib.retransmits"]["node=0"] == N_WRITES - 1
+    assert metrics["hib.nacks_sent"]["node=1"] == 1
+    assert metrics["hib.nacks_received"]["node=0"] == 1
+    assert metrics["hib.timeouts"]["node=0"] == 0
+    # The whole backoff histogram is this one observation.
+    backoff = metrics["hib.backoff_ns"]["node=0"]
+    assert backoff["count"] == 1
+    assert backoff["max"] == DEFAULT_PARAMS.timing.retry_backoff_ns
+
+
+def test_retry_events_appear_in_the_chrome_trace():
+    doc = chrome_trace(run(GOLDEN_FAULTS))
+    instants = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "i"}
+    assert {"fault_drop", "nack", "retransmit"} <= instants
+    retransmit = next(e for e in doc["traceEvents"]
+                      if e.get("ph") == "i" and e["name"] == "retransmit")
+    assert retransmit["pid"] == 0
+    assert retransmit["args"]["reason"] == "nack"
+    assert retransmit["args"]["backoff_ns"] == (
+        DEFAULT_PARAMS.timing.retry_backoff_ns
+    )

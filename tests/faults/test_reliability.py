@@ -1,0 +1,213 @@
+"""End-to-end scenarios for the reliable HIB transport.
+
+Each test injects a specific fault class and asserts the cluster
+recovers to the exact fault-free result — or, past the retry limit,
+degrades into a structured :class:`~repro.faults.NodeFailure` instead
+of hanging.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import Cluster, ClusterConfig
+from repro.faults import NodeUnreachableError
+from repro.params import DEFAULT_PARAMS
+
+
+def small_retry_params(retry_limit=2):
+    """Params with a tight retry budget so dead-peer tests stay fast."""
+    return dataclasses.replace(
+        DEFAULT_PARAMS,
+        sizing=dataclasses.replace(DEFAULT_PARAMS.sizing,
+                                   retry_limit=retry_limit),
+    )
+
+
+def writes_and_fence(cluster, n_writes=6, node=0, home=1):
+    seg = cluster.alloc_segment(home=home, pages=1, name="s")
+    proc = cluster.create_process(node=node, name="w")
+    base = proc.map(seg, mode="remote")
+
+    def program(p):
+        for i in range(n_writes):
+            yield p.store(base + 4 * i, 100 + i)
+        yield p.fence()
+
+    cluster.run(join=[cluster.start(proc, program)])
+    return tuple(cluster.nodes[home].backend.memory.written_words())
+
+
+def test_dropped_rsp_packet_recovers_by_timeout():
+    expected = writes_and_fence(
+        Cluster(ClusterConfig(n_nodes=2, protocol="none")), n_writes=1
+    )
+    # Drop the first reply-plane packet back to host 0.  With a single
+    # write there is no later rsp traffic to carry a cumulative ack or
+    # expose a sequence gap, so recovery can only come from a
+    # retransmission timer expiring.
+    cluster = Cluster(ClusterConfig(
+        n_nodes=2, protocol="none",
+        faults={"seed": 1, "drop_exact": [["sw->host0.rsp", 1]]},
+    ))
+    assert writes_and_fence(cluster, n_writes=1) == expected
+    cluster.assert_quiescent()
+    metrics = cluster.stats()["metrics"]
+    assert sum(metrics["hib.timeouts"].values()) >= 1
+    assert sum(metrics["hib.retransmits"].values()) >= 1
+
+
+def test_duplicates_are_discarded_not_reapplied():
+    # Atomics are the non-idempotent probe: a duplicated ATOMIC_REQ
+    # applied twice would double-increment, and a duplicated
+    # ATOMIC_REPLY would resolve the same future twice.
+    def total_after_fadds(faults):
+        cluster = Cluster(ClusterConfig(n_nodes=2, protocol="none",
+                                        faults=faults))
+        seg = cluster.alloc_segment(home=1, pages=1, name="s")
+        proc = cluster.create_process(node=0, name="a")
+        base = proc.map(seg, mode="remote")
+
+        def program(p):
+            for _ in range(5):
+                yield from p.fetch_and_add(base, 1)
+            yield p.fence()
+
+        cluster.run(join=[cluster.start(proc, program)])
+        cluster.assert_quiescent()
+        return cluster, cluster.node(1).backend.memory.load_word(0)
+
+    cluster, total = total_after_fadds(
+        {"seed": 2, "duplicate_rate": 0.5, "sites": ["host0->sw", "sw->host0"]}
+    )
+    assert total == 5
+    injected = cluster.stats()["faults"]["injected"]
+    assert injected["duplicate"] >= 1
+    # Duplicated LL control packets are outside the sequence space
+    # (processing a cumulative ack twice is harmless), so only the
+    # sequenced duplicates show up as discards.
+    metrics = cluster.stats()["metrics"]
+    dup_discards = sum(v for v in metrics["hib.duplicates_discarded"].values())
+    assert dup_discards >= 1
+
+
+def test_corrupted_packets_are_retransmitted():
+    expected = writes_and_fence(Cluster(ClusterConfig(n_nodes=2,
+                                                      protocol="none")))
+    cluster = Cluster(ClusterConfig(
+        n_nodes=2, protocol="none",
+        faults={"seed": 3, "corrupt_rate": 0.2, "sites": ["host0->sw.req"]},
+    ))
+    assert writes_and_fence(cluster) == expected
+    cluster.assert_quiescent()
+    stats = cluster.stats()
+    assert stats["faults"]["injected"]["corrupt"] >= 1
+    assert stats["metrics"]["hib.corrupt_discarded"]["node=1"] >= 1
+
+
+def test_hib_hang_stalls_service_but_preserves_results():
+    expected = writes_and_fence(Cluster(ClusterConfig(n_nodes=2,
+                                                      protocol="none")))
+    hang_ns = 400_000
+    cluster = Cluster(ClusterConfig(
+        n_nodes=2, protocol="none",
+        faults={"seed": 1, "hib_hangs": [[1, 0, hang_ns]]},
+    ))
+    assert writes_and_fence(cluster) == expected
+    cluster.assert_quiescent()
+    hangs = cluster.tracer.select("hib_hang", node=1)
+    assert hangs, "the hang window was never observed"
+    # Nothing reached node 1's memory before the hang window closed.
+    first_write = cluster.tracer.select("home_write", node=1)
+    assert all(e.time >= hang_ns for e in first_write)
+
+
+def test_total_loss_degrades_into_node_failure():
+    # Everything host 0 sends is dropped; after retry_limit windows the
+    # transport declares the peer dead, unwinds the outstanding count,
+    # and FENCE completes instead of hanging forever.
+    cluster = Cluster(ClusterConfig(
+        n_nodes=2, protocol="none", params=small_retry_params(retry_limit=2),
+        faults={"seed": 1, "drop_rate": 1.0, "sites": ["host0->sw"]},
+    ))
+    writes_and_fence(cluster, n_writes=3)
+    cluster.assert_quiescent()
+    stats = cluster.stats()
+    failures = stats["faults"]["node_failures"]
+    assert len(failures) == 1
+    failure = failures[0]
+    assert failure["reporter"] == 0
+    assert failure["peer"] == 1
+    assert failure["retries"] == 2
+    assert failure["lost_packets"] == {"WRITE_REQ": 3}
+    assert failure["unrecovered"] == 0
+    assert stats["faults"]["transport"][0]["dead_peers"] == [1]
+    # The home memory never saw the writes — degradation, not silence.
+    assert tuple(cluster.nodes[1].backend.memory.written_words()) == ()
+
+
+def test_blocked_read_gets_node_unreachable_error():
+    cluster = Cluster(ClusterConfig(
+        n_nodes=2, protocol="none", params=small_retry_params(retry_limit=2),
+        faults={"seed": 1, "drop_rate": 1.0, "sites": ["host0->sw"]},
+    ))
+    seg = cluster.alloc_segment(home=1, pages=1, name="s")
+    proc = cluster.create_process(node=0, name="r")
+    base = proc.map(seg, mode="remote")
+    caught = {}
+
+    def program(p):
+        try:
+            yield p.load(base)
+        except NodeUnreachableError as err:
+            caught["err"] = err
+
+    cluster.run(join=[cluster.start(proc, program)])
+    assert caught["err"].node == 0
+    assert caught["err"].peer == 1
+    cluster.assert_quiescent()
+
+
+def test_sends_to_a_dead_peer_are_abandoned_immediately():
+    cluster = Cluster(ClusterConfig(
+        n_nodes=2, protocol="none", params=small_retry_params(retry_limit=1),
+        faults={"seed": 1, "drop_rate": 1.0, "sites": ["host0->sw"]},
+    ))
+    seg = cluster.alloc_segment(home=1, pages=1, name="s")
+    proc = cluster.create_process(node=0, name="w")
+    base = proc.map(seg, mode="remote")
+
+    def program(p):
+        yield p.store(base, 1)
+        yield p.fence()          # resolves via the NodeFailure unwind
+        yield p.store(base, 2)   # peer already dead: abandoned inline
+        yield p.fence()
+
+    cluster.run(join=[cluster.start(proc, program)])
+    cluster.assert_quiescent()
+    assert len(cluster.stats()["faults"]["node_failures"]) == 1
+
+
+def test_reliability_false_runs_raw_faults_without_protocol():
+    # With the protocol off, drops silently lose writes: the outstanding
+    # counter never drains, which is exactly what the checker-visible
+    # "unreliable fabric, no tolerance" mode is for.
+    cluster = Cluster(ClusterConfig(
+        n_nodes=2, protocol="none",
+        faults={"seed": 1, "drop_exact": [["host0->sw.req", 1]],
+                "reliability": False},
+    ))
+    assert cluster.nodes[0].hib.transport is None
+    seg = cluster.alloc_segment(home=1, pages=1, name="s")
+    proc = cluster.create_process(node=0, name="w")
+    base = proc.map(seg, mode="remote")
+
+    def program(p):
+        yield p.store(base, 7)
+
+    ctx = cluster.start(proc, program)
+    cluster.run(join=[ctx])
+    assert cluster.stats()["faults"]["injected"]["drop"] == 1
+    assert not cluster.stats()["quiescent"]
+    with pytest.raises(AssertionError, match="outstanding"):
+        cluster.assert_quiescent()

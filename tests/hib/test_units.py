@@ -9,6 +9,7 @@ from repro.hib import (
     LaunchError,
     MulticastTable,
     OutstandingOps,
+    OutstandingUnderflowError,
     PageAccessCounters,
     Reg,
     SpecialOpcode,
@@ -32,10 +33,39 @@ def test_outstanding_basic_counting():
     assert ops.max_outstanding == 3
 
 
-def test_outstanding_underflow_detected():
-    ops = OutstandingOps(0)
-    with pytest.raises(RuntimeError, match="underflow"):
+def test_outstanding_underflow_raises_dedicated_error():
+    # The dedicated type (a RuntimeError subclass, so legacy handlers
+    # still fire) lets the fault harness distinguish a double-counted
+    # completion — what a duplicated ack would cause without sequence
+    # dedup — from any other runtime failure.
+    ops = OutstandingOps(3)
+    ops.increment()
+    ops.decrement()
+    with pytest.raises(OutstandingUnderflowError, match="node 3.*underflow"):
         ops.decrement()
+    assert issubclass(OutstandingUnderflowError, RuntimeError)
+    assert ops.count == 0  # the failed decrement must not corrupt state
+
+
+def test_outstanding_underflow_on_bulk_decrement():
+    ops = OutstandingOps(0)
+    ops.increment(2)
+    with pytest.raises(OutstandingUnderflowError):
+        ops.decrement(3)
+    assert ops.count == 2
+
+
+def test_destination_log_accounting():
+    ops = OutstandingOps(0)
+    log = ops.destination(2)
+    assert ops.destination(2) is log  # one log per peer
+    log.sent += 3
+    log.acked += 2
+    log.timeouts += 1
+    assert ops.destinations_snapshot() == {
+        2: {"sent": 3, "acked": 2, "nacks_received": 0,
+            "retransmits": 0, "timeouts": 1},
+    }
 
 
 def test_fence_immediate_when_quiescent():

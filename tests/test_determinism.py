@@ -56,3 +56,59 @@ def test_trace_replay_is_deterministic():
         }
 
     assert once() == once()
+
+
+def faulty_run(fault_seed):
+    """A lossy-fabric run: the full fingerprint — trace (including the
+    injector's fault events and the transport's retry events), final
+    memories, and the metrics snapshot — must be a pure function of
+    the fault seed."""
+    import json
+
+    cluster = Cluster(
+        n_nodes=3, protocol="telegraphos", topology="chain",
+        faults={"seed": fault_seed, "drop_rate": 0.03,
+                "corrupt_rate": 0.02, "duplicate_rate": 0.02,
+                "stall_rate": 0.03},
+    )
+    seg = cluster.alloc_segment(home=0, pages=1, name="f")
+    ctxs = []
+    for node in (1, 2):
+        proc = cluster.create_process(node=node, name=f"p{node}")
+        base = proc.map(seg, mode="replica")
+
+        def program(p, base=base, node=node):
+            for i in range(6):
+                yield p.store(base + 4 * (i % 3), node * 100 + i)
+                yield p.think(1100 * node)
+            yield p.fence()
+
+        ctxs.append(cluster.start(proc, program))
+    cluster.run_programs(ctxs)
+    trace_fingerprint = [
+        (e.time, e.category, tuple(sorted(e.fields.items())))
+        for e in cluster.tracer.events
+    ]
+    memory_fingerprint = {
+        n.node_id: tuple(n.backend.memory.written_words())
+        for n in cluster.nodes
+    }
+    metrics_fingerprint = json.dumps(cluster.stats()["metrics"],
+                                     sort_keys=True)
+    return cluster.now, trace_fingerprint, memory_fingerprint, \
+        metrics_fingerprint
+
+
+def test_same_fault_seed_same_history():
+    first = faulty_run(7)
+    second = faulty_run(7)
+    assert first[0] == second[0], "simulated end times differ"
+    assert first[1] == second[1], "event traces differ"
+    assert first[2] == second[2], "final memories differ"
+    assert first[3] == second[3], "metrics snapshots differ"
+
+
+def test_different_fault_seeds_give_different_histories():
+    assert faulty_run(7)[1] != faulty_run(8)[1], (
+        "3%+ fault rates over hundreds of traversals must produce "
+        "seed-dependent fault schedules")
