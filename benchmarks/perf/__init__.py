@@ -1,0 +1,37 @@
+"""Simulator performance benchmark harness.
+
+Measures how fast the *simulator itself* runs — executed kernel events
+per wall-clock second — on a fixed set of representative workloads, so
+every PR leaves a trajectory (``BENCH_PERF.json`` at the repo root)
+and regressions in the hot path are caught mechanically instead of by
+feel.  This is the measurement discipline APEnet+ (arXiv:1102.3796)
+applies to its transport layer, pointed at our own event loop.
+
+Entry points:
+
+- ``python -m repro bench-perf`` — run the suite, write
+  ``BENCH_PERF.json`` (includes the committed pre-refactor baseline
+  and the speedup ratio per workload).
+- ``python -m repro bench-perf --quick`` — the CI smoke variant.
+- ``python -m repro bench-perf --quick --check`` — exit non-zero on a
+  >25% events/sec regression against the committed baseline.
+"""
+
+from benchmarks.perf.harness import (
+    BASELINE_PATH,
+    REGRESSION_TOLERANCE,
+    load_baseline,
+    run_suite,
+    write_report,
+)
+from benchmarks.perf.workloads import WORKLOADS, workload_names
+
+__all__ = [
+    "BASELINE_PATH",
+    "REGRESSION_TOLERANCE",
+    "WORKLOADS",
+    "load_baseline",
+    "run_suite",
+    "workload_names",
+    "write_report",
+]

@@ -1,0 +1,182 @@
+"""Measurement core of the simulator performance suite.
+
+Two-pass design, exploiting the simulator's determinism:
+
+1. **Count pass** — run the workload once and count executed kernel
+   events.  The simulation is fully deterministic, so this count is a
+   property of the workload, not of the run.
+2. **Timed passes** — run the workload ``repeats`` more times with no
+   instrumentation at all and keep the best wall-clock time.
+
+``events_per_sec = events / best_wall_seconds`` therefore measures the
+bare, un-instrumented fast path.  The count pass prefers the kernel's
+native ``Simulator.events_executed`` counter and falls back to
+wrapping :meth:`Simulator.run` (so the same harness can measure older
+kernels — that is how the committed pre-refactor baseline in
+``baseline.json`` was produced).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from repro.sim import Simulator
+
+from benchmarks.perf.workloads import WORKLOADS
+
+#: Committed reference numbers (recorded on the pre-refactor kernel).
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+#: Allowed events/sec slowdown vs the committed baseline before
+#: ``--check`` fails (the CI regression gate).
+REGRESSION_TOLERANCE = 0.25
+
+
+def _count_events(workload, mode: str) -> int:
+    """Deterministic executed-event count for one workload run."""
+    cluster = workload(mode)
+    native = getattr(cluster.sim, "events_executed", None)
+    if native is not None:
+        return int(native)
+    # Fallback for kernels without the native counter: accumulate the
+    # executed-count return values of every Simulator.run call.
+    counted = {"events": 0}
+    original_run = Simulator.run
+
+    def counting_run(self, *args, **kwargs):
+        executed = original_run(self, *args, **kwargs)
+        counted["events"] += executed
+        return executed
+
+    Simulator.run = counting_run
+    try:
+        workload(mode)
+    finally:
+        Simulator.run = original_run
+    return counted["events"]
+
+
+def measure_workload(name: str, mode: str, repeats: int = 3) -> Dict[str, Any]:
+    """Measure one workload: event count plus best-of-N wall time."""
+    workload = WORKLOADS[name]
+    events = _count_events(workload, mode)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        began = time.perf_counter()
+        workload(mode)
+        elapsed = time.perf_counter() - began
+        if elapsed < best:
+            best = elapsed
+    return {
+        "events": events,
+        "wall_s": round(best, 6),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def load_baseline(path: str = BASELINE_PATH) -> Optional[Dict[str, Any]]:
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def run_suite(mode: str = "full", repeats: int = 3,
+              baseline_path: str = BASELINE_PATH) -> Dict[str, Any]:
+    """Run every workload and assemble the BENCH_PERF document."""
+    results: Dict[str, Any] = {}
+    for name in WORKLOADS:
+        results[name] = measure_workload(name, mode, repeats=repeats)
+    report: Dict[str, Any] = {
+        "schema": 1,
+        "mode": mode,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workloads": results,
+    }
+    baseline = load_baseline(baseline_path)
+    if baseline is not None and mode in baseline.get("modes", {}):
+        base_results = baseline["modes"][mode]["workloads"]
+        report["baseline"] = {
+            "label": baseline.get("label", "baseline"),
+            "workloads": base_results,
+        }
+        report["speedup_vs_baseline"] = {
+            name: round(results[name]["events_per_sec"]
+                        / base_results[name]["events_per_sec"], 3)
+            for name in results if name in base_results
+        }
+    return report
+
+
+def check_regressions(report: Dict[str, Any],
+                      tolerance: float = REGRESSION_TOLERANCE) -> list:
+    """Workloads slower than ``(1 - tolerance) * baseline``."""
+    return [
+        (name, ratio)
+        for name, ratio in report.get("speedup_vs_baseline", {}).items()
+        if ratio < 1.0 - tolerance
+    ]
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render(report: Dict[str, Any]) -> str:
+    lines = [
+        f"Simulator performance suite — mode={report['mode']} "
+        f"(best of {report['repeats']})",
+    ]
+    speedups = report.get("speedup_vs_baseline", {})
+    for name, res in report["workloads"].items():
+        line = (f"  {name:<18} {res['events']:>9} events  "
+                f"{res['wall_s'] * 1000.0:>8.1f} ms  "
+                f"{res['events_per_sec']:>12,.0f} events/s")
+        if name in speedups:
+            line += f"  ({speedups[name]:.2f}x baseline)"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:  # pragma: no cover - exercised via CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro bench-perf")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI-smoke sizes")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_PERF.json")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >25%% events/sec regression vs "
+                             "the committed baseline")
+    args = parser.parse_args(argv)
+    mode = "quick" if args.quick else "full"
+    report = run_suite(mode=mode, repeats=args.repeats)
+    write_report(report, args.out)
+    print(render(report))
+    print(f"wrote {args.out}")
+    if args.check:
+        failures = check_regressions(report)
+        if failures:
+            for name, ratio in failures:
+                print(f"REGRESSION: {name} at {ratio:.2f}x baseline "
+                      f"(allowed >= {1.0 - REGRESSION_TOLERANCE:.2f}x)",
+                      file=sys.stderr)
+            return 1
+        if "speedup_vs_baseline" not in report:
+            print("WARNING: no committed baseline for mode "
+                  f"{mode!r}; nothing to check", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

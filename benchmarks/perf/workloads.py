@@ -1,0 +1,127 @@
+"""Standard workloads for the simulator performance suite.
+
+Each workload is a zero-argument callable (parameterised by size mode)
+that builds a cluster, runs a fixed deterministic scenario, and
+returns the finished :class:`~repro.api.cluster.Cluster`.  Tracing,
+metrics, and kernel profiling are all **off**: the suite measures the
+bare fast path, which is exactly the configuration large parameter
+sweeps run in.
+
+Three scenarios, chosen to stress different layers:
+
+- ``hotspot`` — every node hammers one remote counter with
+  fetch&add: atomics, read-token flow control, reply-plane traffic.
+  This is the headline workload for the >=1.5x speedup target.
+- ``producer_consumer`` — streaming writes + eager-update fan-out
+  through the telegraphos counter protocol: coherence engine, UPDATE
+  multicast, fence traffic.
+- ``fault_soak`` — a seeded lossy fabric under the reliable
+  transport: retransmission timers, nack/ack control packets, and the
+  tombstoned timer cancellations of the retry protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.api import Cluster, ClusterConfig
+from repro.workloads.hotspot import run_hotspot_counter
+from repro.workloads.producer_consumer import run_producer_consumer
+
+#: Workload sizes per mode.  ``quick`` is the CI smoke (seconds);
+#: ``full`` is the local/default trajectory run.
+_SIZES: Dict[str, Dict[str, int]] = {
+    "full": {
+        "hotspot_nodes": 8,
+        "hotspot_increments": 64,
+        "pc_consumers": 3,
+        "pc_batches": 8,
+        "pc_words": 32,
+        "soak_nodes": 4,
+        "soak_writes": 160,
+    },
+    "quick": {
+        "hotspot_nodes": 4,
+        "hotspot_increments": 16,
+        "pc_consumers": 2,
+        "pc_batches": 3,
+        "pc_words": 12,
+        "soak_nodes": 3,
+        "soak_writes": 40,
+    },
+}
+
+
+def _bare_config(**kwargs) -> ClusterConfig:
+    """A cluster with every observability switch off."""
+    return ClusterConfig(trace=False, metrics=False, profile_kernel=False,
+                         **kwargs)
+
+
+def hotspot(mode: str) -> Cluster:
+    size = _SIZES[mode]
+    cluster = Cluster(_bare_config(
+        n_nodes=size["hotspot_nodes"], protocol="none"))
+    result = run_hotspot_counter(
+        cluster,
+        home=0,
+        increments_per_node=size["hotspot_increments"],
+        think_ns=200,
+    )
+    assert result.lost_updates == 0, "hotspot workload lost updates"
+    return cluster
+
+
+def producer_consumer(mode: str) -> Cluster:
+    size = _SIZES[mode]
+    cluster = Cluster(_bare_config(
+        n_nodes=1 + size["pc_consumers"], protocol="telegraphos"))
+    result = run_producer_consumer(
+        cluster,
+        producer_node=0,
+        consumer_nodes=list(range(1, 1 + size["pc_consumers"])),
+        batches=size["pc_batches"],
+        words_per_batch=size["pc_words"],
+        sharing="replica",
+    )
+    assert result.consumer_read_ns.count > 0
+    return cluster
+
+
+def fault_soak(mode: str) -> Cluster:
+    size = _SIZES[mode]
+    cluster = Cluster(_bare_config(
+        n_nodes=size["soak_nodes"],
+        protocol="none",
+        faults={"seed": 7, "drop_rate": 0.01, "corrupt_rate": 0.002},
+    ))
+    seg = cluster.alloc_segment(home=0, pages=2, name="soak")
+    contexts = []
+    n_writes = size["soak_writes"]
+    for node in range(1, size["soak_nodes"]):
+        proc = cluster.create_process(node=node, name=f"soak{node}")
+        base = proc.map(seg)
+
+        def program(p, base=base, node=node):
+            for i in range(n_writes):
+                yield p.store(base + 4 * ((node * 131 + i) % 512),
+                              node * 10_000 + i)
+                if i % 16 == 15:
+                    yield p.fence()
+            yield p.fence()
+
+        contexts.append(cluster.start(proc, program))
+    cluster.run(join=contexts)
+    cluster.assert_quiescent()
+    return cluster
+
+
+WORKLOADS: Dict[str, Callable[[str], Cluster]] = {
+    "hotspot": hotspot,
+    "producer_consumer": producer_consumer,
+    "fault_soak": fault_soak,
+}
+
+
+def workload_names() -> List[str]:
+    return list(WORKLOADS)

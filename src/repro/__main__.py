@@ -1,4 +1,5 @@
-"""Command-line entry points: ``python -m repro [check|stats|trace]``.
+"""Command-line entry points:
+``python -m repro [check|stats|trace|bench-perf]``.
 
 - ``check`` (default) — thirty-second installation self-check: builds
   a small cluster, exercises every §2.2 primitive, measures the §3.2
@@ -8,11 +9,18 @@
   metrics-registry snapshot, and the event-loop profile.
 - ``trace`` — the same demo with activity lanes on, exported as
   Chrome trace-event JSON (open in ``chrome://tracing`` or Perfetto).
+- ``bench-perf`` — the simulator performance suite
+  (:mod:`benchmarks.perf`): events/sec on three workloads, compared
+  against the committed baseline, written to ``BENCH_PERF.json``.
+
+``--profile`` wraps any command in :mod:`cProfile` and prints the top
+twenty entries by cumulative time.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import comparison_table, measure_op_stream, us
@@ -174,10 +182,41 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench_perf(args) -> int:
+    # The benchmarks package lives at the repo root (next to ``src``),
+    # outside the installed package; fall back to that location when
+    # only ``src`` is on the path.
+    try:
+        from benchmarks.perf import harness
+    except ModuleNotFoundError:
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        if not os.path.isdir(os.path.join(repo_root, "benchmarks")):
+            print("bench-perf needs the benchmarks/ directory of the "
+                  "source tree", file=sys.stderr)
+            return 2
+        sys.path.insert(0, repo_root)
+        from benchmarks.perf import harness
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    forwarded += ["--repeats", str(args.repeats), "--out", args.out]
+    if args.check:
+        forwarded.append("--check")
+    return harness.main(forwarded)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Telegraphos reproduction command line",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command under cProfile and print the top 20 "
+             "entries by cumulative time",
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("check", help="installation self-check (default)")
@@ -211,12 +250,44 @@ def main(argv=None) -> int:
     p_trace.add_argument("--out", default="trace.json",
                          help="output path (default: trace.json)")
 
+    p_bench = sub.add_parser(
+        "bench-perf",
+        help="simulator performance suite (events/sec vs baseline)",
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small CI-smoke sizes")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timed passes per workload (default: 3)")
+    p_bench.add_argument("--out", default="BENCH_PERF.json",
+                         help="report path (default: BENCH_PERF.json)")
+    p_bench.add_argument("--check", action="store_true",
+                         help="exit non-zero on >25%% events/sec "
+                              "regression vs the committed baseline")
+
     args = parser.parse_args(argv)
-    if args.command == "stats":
-        return cmd_stats(args)
-    if args.command == "trace":
-        return cmd_trace(args)
-    return self_check()
+
+    def dispatch() -> int:
+        if args.command == "stats":
+            return cmd_stats(args)
+        if args.command == "trace":
+            return cmd_trace(args)
+        if args.command == "bench-perf":
+            return cmd_bench_perf(args)
+        return self_check()
+
+    if not args.profile:
+        return dispatch()
+
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    code = profiler.runcall(dispatch)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative")
+    print()
+    stats.print_stats(20)
+    return code
 
 
 if __name__ == "__main__":

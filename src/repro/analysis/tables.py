@@ -31,8 +31,10 @@ class Table:
             lines.append("=" * max(len(self.title), sum(widths) + 2 * len(widths)))
         lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
         lines.append("  ".join("-" * w for w in widths))
-        for row in self.rows:
-            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.extend(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths))
+            for row in self.rows
+        )
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience

@@ -23,6 +23,8 @@ the home copy.
 
 from __future__ import annotations
 
+import itertools
+
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.coherence.directory import SharingDirectory
@@ -42,11 +44,7 @@ def collapse_runs(sequence: Sequence) -> List:
     already holds is invisible to any reader, so value *timelines*
     compare modulo runs (e.g. a local apply followed by the reflection
     of that same write)."""
-    out: List = []
-    for value in sequence:
-        if not out or out[-1] != value:
-            out.append(value)
-    return out
+    return [value for value, _run in itertools.groupby(sequence)]
 
 
 def contains_aba(sequence: Sequence) -> Optional[Tuple]:

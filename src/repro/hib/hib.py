@@ -44,8 +44,8 @@ from repro.machine.addresses import AddressMap, Region
 from repro.machine.bus import Bus
 from repro.machine.interrupts import InterruptController
 from repro.network.fabric import NetworkPort
-from repro.network.packet import Packet, PacketKind
-from repro.obs.metrics import NULL_REGISTRY
+from repro.network.packet import NULL_POOL, Packet, PacketKind
+from repro.obs.metrics import NULL_METRIC, NULL_REGISTRY
 from repro.params import Params
 from repro.sim import BoundedQueue, Future, Simulator, Tracer
 
@@ -134,6 +134,19 @@ class HIB:
             if injector is not None and injector.config.reliability
             else None
         )
+        #: The fabric's packet pool (inert under fault injection): the
+        #: servant loops are the terminal consumers of every packet, so
+        #: they release each one back after its handler returns.
+        self._pool = getattr(port, "pool", NULL_POOL)
+        #: Request-servant dispatch table, built once (not per packet).
+        self._handlers = {
+            PacketKind.WRITE_REQ: self._serve_write,
+            PacketKind.READ_REQ: self._serve_read,
+            PacketKind.ATOMIC_REQ: self._serve_atomic,
+            PacketKind.COPY_REQ: self._serve_copy,
+            PacketKind.UPDATE: self._serve_update,
+            PacketKind.RING_UPDATE: self._serve_ring,
+        }
         self._service = sim.spawn(self._service_loop(), name=f"hib{node_id}.svc")
         self._replies = sim.spawn(self._reply_loop(), name=f"hib{node_id}.rsp")
 
@@ -246,7 +259,7 @@ class HIB:
         self.stats["remote_writes"] += 1
         self.page_counters.on_access((home, self.amap.page_of(offset)), "write")
         self.outstanding.increment()
-        packet = Packet(
+        packet = self._pool.acquire(
             PacketKind.WRITE_REQ,
             src=self.node_id,
             dst=home,
@@ -266,7 +279,7 @@ class HIB:
         op_id = next(self._op_ids)
         future = Future()
         self._pending[op_id] = future
-        packet = Packet(
+        packet = self._pool.acquire(
             PacketKind.READ_REQ,
             src=self.node_id,
             dst=home,
@@ -291,7 +304,7 @@ class HIB:
         meta: Optional[dict] = None,
     ):
         """Coherence-engine helper: inject an UPDATE packet."""
-        packet = Packet(
+        packet = self._pool.acquire(
             PacketKind.UPDATE,
             src=self.node_id,
             dst=dst,
@@ -451,7 +464,7 @@ class HIB:
         op_id = next(self._op_ids)
         future = Future()
         self._pending[op_id] = future
-        packet = Packet(
+        packet = self._pool.acquire(
             PacketKind.ATOMIC_REQ,
             src=self.node_id,
             dst=home,
@@ -482,7 +495,7 @@ class HIB:
             (src_home, self.amap.page_of(src_offset)), "read"
         )
         self.outstanding.increment()
-        packet = Packet(
+        packet = self._pool.acquire(
             PacketKind.COPY_REQ,
             src=self.node_id,
             dst=src_home,
@@ -529,31 +542,43 @@ class HIB:
     # ------------------------------------------------------------------
 
     def _service_loop(self):
-        """Request-class servant: drains the request virtual network."""
-        timing = self.params.timing
+        """Request-class servant: drains the request virtual network.
+
+        The fault gate, trace span, and metrics observation are all
+        resolved once when the loop starts: an uninstrumented HIB pays
+        for none of them per packet.  They only add work, never events,
+        so the event schedule is independent of instrumentation.
+        """
+        decode_ns = self.params.timing.hib_decode_ns
+        sim = self.sim
+        receive = self.port.receive
+        pool = self._pool
+        handlers = self._handlers
+        stats = self.stats
+        faulty = self._injector is not None
+        tracer = self.tracer
+        span = tracer.span if (tracer.enabled and tracer.lanes) else None
+        observe = (None if self._m_req_wait is NULL_METRIC
+                   else self._m_req_wait.observe)
         while True:
-            packet: Packet = yield self.port.receive()
-            yield from self._faulty_receive_gate()
-            if self._transport is not None and not self._transport.admit(packet):
-                continue
-            self.stats["packets_served"] += 1
-            if packet.injected_at is not None:
-                self._m_req_wait.observe(self.sim.now - packet.injected_at)
-            began = self.sim.now
-            yield timing.hib_decode_ns
-            handler = {
-                PacketKind.WRITE_REQ: self._serve_write,
-                PacketKind.READ_REQ: self._serve_read,
-                PacketKind.ATOMIC_REQ: self._serve_atomic,
-                PacketKind.COPY_REQ: self._serve_copy,
-                PacketKind.UPDATE: self._serve_update,
-                PacketKind.RING_UPDATE: self._serve_ring,
-            }[packet.kind]
-            yield from handler(packet)
-            self.tracer.span(
-                "hib_op", began, node=self.node_id,
-                kind=packet.kind.name, src=packet.src,
-            )
+            packet: Packet = yield receive()
+            if faulty:
+                yield from self._faulty_receive_gate()
+                if (self._transport is not None
+                        and not self._transport.admit(packet)):
+                    continue
+            stats["packets_served"] += 1
+            if observe is not None and packet.injected_at is not None:
+                observe(sim.now - packet.injected_at)
+            began = sim.now
+            yield decode_ns
+            yield from handlers[packet.kind](packet)
+            if span is not None:
+                span(
+                    "hib_op", began, node=self.node_id,
+                    kind=packet.kind.name, src=packet.src,
+                )
+            pool.release(packet)
 
     def _faulty_receive_gate(self):
         """Transient HIB hangs (fault injection): a hung board stops
@@ -570,26 +595,40 @@ class HIB:
     def _reply_loop(self):
         """Reply-class servant: the dedicated response latch.  Replies
         resolve futures and acks decrement counters — cheap work on a
-        path that congested request traffic cannot delay."""
-        timing = self.params.timing
+        path that congested request traffic cannot delay.  Same
+        resolve-at-start structure as :meth:`_service_loop`."""
+        latch_ns = 2 * self.params.timing.hib_cycle_ns
+        sim = self.sim
+        receive = self.port.receive_reply
+        pool = self._pool
+        stats = self.stats
+        faulty = self._injector is not None
+        tracer = self.tracer
+        span = tracer.span if (tracer.enabled and tracer.lanes) else None
+        observe = (None if self._m_rsp_wait is NULL_METRIC
+                   else self._m_rsp_wait.observe)
         while True:
-            packet: Packet = yield self.port.receive_reply()
-            yield from self._faulty_receive_gate()
-            if self._transport is not None and not self._transport.admit(packet):
-                continue
-            self.stats["packets_served"] += 1
-            if packet.injected_at is not None:
-                self._m_rsp_wait.observe(self.sim.now - packet.injected_at)
-            began = self.sim.now
-            yield 2 * timing.hib_cycle_ns
+            packet: Packet = yield receive()
+            if faulty:
+                yield from self._faulty_receive_gate()
+                if (self._transport is not None
+                        and not self._transport.admit(packet)):
+                    continue
+            stats["packets_served"] += 1
+            if observe is not None and packet.injected_at is not None:
+                observe(sim.now - packet.injected_at)
+            began = sim.now
+            yield latch_ns
             if packet.kind is PacketKind.WRITE_ACK:
                 yield from self._serve_ack(packet)
             else:
                 yield from self._serve_reply(packet)
-            self.tracer.span(
-                "hib_op", began, node=self.node_id,
-                kind=packet.kind.name, src=packet.src,
-            )
+            if span is not None:
+                span(
+                    "hib_op", began, node=self.node_id,
+                    kind=packet.kind.name, src=packet.src,
+                )
+            pool.release(packet)
 
     def _serve_write(self, packet: Packet):
         yield from self.backend.write(packet.address, packet.value)
@@ -612,7 +651,7 @@ class HIB:
             self.outstanding.decrement()
             return
         self.stats["acks_sent"] += 1
-        ack = Packet(
+        ack = self._pool.acquire(
             PacketKind.WRITE_ACK,
             src=self.node_id,
             dst=target,
@@ -625,7 +664,7 @@ class HIB:
     def _serve_read(self, packet: Packet):
         value = yield from self.backend.read(packet.address)
         yield self.params.timing.hib_inject_ns
-        reply = Packet(
+        reply = self._pool.acquire(
             PacketKind.READ_REPLY,
             src=self.node_id,
             dst=packet.src,
@@ -646,7 +685,7 @@ class HIB:
             ),
         )
         yield self.params.timing.hib_inject_ns
-        reply = Packet(
+        reply = self._pool.acquire(
             PacketKind.ATOMIC_REPLY,
             src=self.node_id,
             dst=packet.src,
@@ -668,7 +707,7 @@ class HIB:
             yield from self._ack(packet)
             return
         yield self.params.timing.hib_inject_ns
-        write = Packet(
+        write = self._pool.acquire(
             PacketKind.WRITE_REQ,
             src=self.node_id,
             dst=dst_node,

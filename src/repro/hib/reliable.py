@@ -39,7 +39,6 @@ lossless model.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Deque, Dict, Optional, Tuple
 
 import collections
@@ -232,11 +231,12 @@ class ReliableTransport:
     def _retransmit(self, channel: _Channel, backoff: int):
         yield backoff
         log = self.outstanding.destination(channel.dst)
-        for packet in list(channel.unacked):
+        # Snapshot: acks arriving during a send can shrink the window.
+        for packet in tuple(channel.unacked):
             if channel.dead:
                 break
-            clone = replace(packet, corrupted=False,
-                            injected_at=self.sim.now)
+            clone = packet.replace(corrupted=False,
+                                   injected_at=self.sim.now)
             self._m_retransmits.inc()
             log.retransmits += 1
             yield self.port.send(clone)

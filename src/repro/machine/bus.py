@@ -55,7 +55,7 @@ class Bus:
         future = Future()
         if self._owner is None:
             self._owner = who or future
-            self.sim.schedule(self.arb_ns, future.set_result, None)
+            self.sim._post(self.arb_ns, future.set_result, (None,))
         else:
             self.arb_waits += 1
             self._waiters.append((future, self.sim.now))
@@ -71,7 +71,7 @@ class Bus:
             future, enqueued = self._waiters.popleft()
             self.wait_ns += self.sim.now - enqueued
             self._owner = future
-            self.sim.schedule(self.arb_ns, future.set_result, None)
+            self.sim._post(self.arb_ns, future.set_result, (None,))
 
     # -- process-style interface ----------------------------------------
 

@@ -27,7 +27,7 @@ from typing import Dict, List
 from repro.params import Params
 from repro.sim import BoundedQueue, Simulator
 from repro.network.link import Link
-from repro.network.packet import Packet
+from repro.network.packet import NULL_POOL, Packet, PacketPool
 from repro.network.routing import compute_routes
 from repro.network.switch import Switch
 from repro.network.topology import Topology
@@ -37,34 +37,47 @@ VCS = ("req", "rsp")
 
 
 class NetworkPort:
-    """A host's attachment point: egress/ingress FIFOs per VC."""
+    """A host's attachment point: egress/ingress FIFOs per VC.
+
+    Also carries the fabric's :class:`~repro.network.packet.PacketPool`
+    (an inert one under fault injection), so HIBs acquire and release
+    packets without knowing how the fabric was built.
+    """
 
     def __init__(self, node_id: int,
                  egress: Dict[str, BoundedQueue],
-                 ingress: Dict[str, BoundedQueue]):
+                 ingress: Dict[str, BoundedQueue],
+                 pool: PacketPool = NULL_POOL):
         self.node_id = node_id
         self._egress = egress
         self._ingress = ingress
+        self.pool = pool
+        # Plane queues resolved once; the per-send work is one
+        # precomputed plane test plus a queue put.
+        self._egress_req = egress["req"]
+        self._egress_rsp = egress["rsp"]
+        self._ingress_req = ingress["req"]
+        self._ingress_rsp = ingress["rsp"]
 
     def send(self, packet: Packet):
-        """Inject a packet on its VC (returns a future; blocks while
+        """Inject a packet on its VC (returns a waitable; blocks while
         that VC's egress FIFO is full — the TurboChannel stalls)."""
-        vc = "rsp" if packet.kind.is_reply else "req"
-        return self._egress[vc].put(packet)
+        queue = self._egress_rsp if packet.kind._is_reply else self._egress_req
+        return queue.put(packet)
 
     def try_send(self, packet: Packet) -> bool:
-        vc = "rsp" if packet.kind.is_reply else "req"
-        return self._egress[vc].try_put(packet)
+        queue = self._egress_rsp if packet.kind._is_reply else self._egress_req
+        return queue.try_put(packet)
 
     def receive(self):
-        """Future resolving with the next incoming *request-class*
+        """Waitable resolving with the next incoming *request-class*
         packet."""
-        return self._ingress["req"].get()
+        return self._ingress_req.get()
 
     def receive_reply(self):
-        """Future resolving with the next incoming *reply-class*
+        """Waitable resolving with the next incoming *reply-class*
         packet."""
-        return self._ingress["rsp"].get()
+        return self._ingress_rsp.get()
 
     @property
     def egress(self) -> BoundedQueue:
@@ -92,6 +105,10 @@ class Fabric:
         #: every link and switch (they are the fault sites).  ``None``
         #: (the default) is the paper's lossless fabric.
         self.injector = injector
+        #: Packet recycling is only safe on a lossless fabric: fault
+        #: duplication and retransmit windows create second references
+        #: that outlive the receiver's service loop (see DESIGN.md).
+        self.pool: PacketPool = PacketPool() if injector is None else NULL_POOL
         #: switches[vc][switch_id]
         self.switches: Dict[str, Dict[object, Switch]] = {vc: {} for vc in VCS}
         self.links: List[Link] = []
@@ -145,6 +162,7 @@ class Fabric:
                 node_id,
                 host_queues[node_id]["egress"],
                 host_queues[node_id]["ingress"],
+                pool=self.pool,
             )
 
         # Inter-switch cables (both directions, both VCs).

@@ -67,8 +67,41 @@ class Link:
         # the previous packet's flight time — link throughput is set by
         # bandwidth alone, latency by bandwidth + propagation.
         self._wire = BoundedQueue(1, name=f"{name}.wire")
-        self._serializer = sim.spawn(self._serialize(), name=f"{name}.ser")
-        self._pump = sim.spawn(self._propagate(), name=f"{name}.prop")
+        # The pump generator is picked once at wiring time: the plain
+        # variant has no per-packet injector/tracer tests at all.  All
+        # variants yield the same sequence of waitables per packet, so
+        # the event schedule is identical whichever is spawned.
+        if injector is None and tracer is None:
+            serializer, pump = self._serialize_bare(), self._propagate_bare()
+        else:
+            serializer, pump = self._serialize(), self._propagate()
+        self._serializer = sim.spawn(serializer, name=f"{name}.ser")
+        self._pump = sim.spawn(pump, name=f"{name}.prop")
+
+    def _serialize_bare(self):
+        """Lossless untraced serializer: wire stage carries the bare
+        packet (no timestamp tuple)."""
+        serialization_ns = self.timing.serialization_ns
+        get = self.src.get
+        put = self._wire.put
+        while True:
+            packet: Packet = yield get()
+            serialization = serialization_ns(packet.size_bytes)
+            yield serialization
+            self.busy_ns += serialization
+            yield put(packet)
+
+    def _propagate_bare(self):
+        prop_ns = self.timing.link_prop_ns
+        get = self._wire.get
+        put = self.dst.put
+        while True:
+            packet: Packet = yield get()
+            yield prop_ns
+            # Blocks while the downstream buffer is full: back-pressure.
+            yield put(packet)
+            self.packets_carried += 1
+            self.bytes_carried += packet.size_bytes
 
     def _serialize(self):
         timing = self.timing

@@ -24,14 +24,20 @@ mirroring §2.2 of the paper:
   response plane so congested request traffic cannot delay recovery.
 
 Packets carry their wire size so links can charge serialization time.
+
+``Packet`` is a ``__slots__`` class (not a dataclass): a packet is the
+unit object of every fabric hot path, so it pays for neither an
+instance ``__dict__`` nor a per-packet empty ``meta`` dict (the shared
+immutable :data:`_EMPTY_META` stands in until a producer supplies
+one).  :class:`PacketPool` recycles packet objects on lossless fabrics
+— see the ownership rules in its docstring and DESIGN.md.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 
 class PacketKind(enum.Enum):
@@ -54,26 +60,39 @@ class PacketKind(enum.Enum):
         separating request and response traffic is also the classic
         guard against protocol deadlock, and it means a congested
         request stream cannot delay read replies or write acks."""
-        return self in (
-            PacketKind.READ_REPLY,
-            PacketKind.ATOMIC_REPLY,
-            PacketKind.WRITE_ACK,
-            PacketKind.LL_ACK,
-            PacketKind.LL_NACK,
-        )
+        return self._is_reply
 
     @property
     def is_ll_control(self) -> bool:
         """Link-level control packets are outside the sequence space:
         they are never acknowledged (loss is recovered by the sender's
         retransmission timeout, cf. Yu et al.'s NIC-based protocol)."""
-        return self in (PacketKind.LL_ACK, PacketKind.LL_NACK)
+        return self._is_ll_control
+
+
+# Membership is fixed at class-definition time; precomputing it onto
+# each member turns the per-packet plane test into one attribute load.
+for _kind in PacketKind:
+    _kind._is_ll_control = _kind.name in ("LL_ACK", "LL_NACK")
+    _kind._is_reply = _kind.name in (
+        "READ_REPLY", "ATOMIC_REPLY", "WRITE_ACK", "LL_ACK", "LL_NACK",
+    )
+del _kind
 
 
 _packet_ids = itertools.count()
 
+#: Shared placeholder for packets constructed without extras.  Treated
+#: as immutable everywhere: producers that need extras pass their own
+#: dict at construction time, never mutate ``meta`` in place.
+_EMPTY_META: Dict[str, Any] = {}
 
-@dataclass
+_PACKET_FIELDS = (
+    "kind", "src", "dst", "size_bytes", "address", "value", "op_id",
+    "origin", "meta", "pid", "injected_at", "seq", "corrupted",
+)
+
+
 class Packet:
     """One network packet.
 
@@ -81,46 +100,181 @@ class Packet:
     appear as endpoints.  ``op_id`` ties replies to requests.
     ``origin`` is the node whose processor initiated the operation —
     for reflected writes it differs from ``src`` (which is the owner).
+
+    Notable fields beyond the addressing tuple:
+
+    - ``meta`` — free-form extras (atomic opcode/operands, copy
+      destination...); defaults to the shared immutable empty dict.
+    - ``pid`` — unique id (debugging, tracing).
+    - ``injected_at`` — timestamp of injection (set by the sender).
+    - ``seq`` — per-(destination, plane) sequence number, assigned by
+      the reliable transport (:mod:`repro.hib.reliable`); ``None``
+      when the retry protocol is off (the default lossless fabric).
+    - ``corrupted`` — set by the fault injector to model an in-flight
+      bit error; the reliable transport treats a corrupted packet as
+      lost (checksum failure) and requests retransmission.
     """
 
-    kind: PacketKind
-    src: int
-    dst: int
-    size_bytes: int
-    address: Optional[int] = None
-    value: Optional[int] = None
-    op_id: Optional[int] = None
-    origin: Optional[int] = None
-    #: Free-form extras (atomic opcode/operands, copy destination...).
-    meta: Dict[str, Any] = field(default_factory=dict)
-    #: Unique id (debugging, tracing).
-    pid: int = field(default_factory=lambda: next(_packet_ids))
-    #: Timestamp of injection into the fabric (set by the sender).
-    injected_at: Optional[int] = None
-    #: Per-(destination, plane) sequence number, assigned by the
-    #: reliable transport (:mod:`repro.hib.reliable`); ``None`` when
-    #: the retry protocol is off (the default, fault-free fabric).
-    seq: Optional[int] = None
-    #: Set by the fault injector to model an in-flight bit error; the
-    #: reliable transport treats a corrupted packet as lost (checksum
-    #: failure) and requests retransmission.
-    corrupted: bool = False
+    __slots__ = _PACKET_FIELDS
 
-    def __post_init__(self) -> None:
-        if self.size_bytes <= 0:
+    def __init__(
+        self,
+        kind: PacketKind,
+        src: int,
+        dst: int,
+        size_bytes: int,
+        address: Optional[int] = None,
+        value: Optional[int] = None,
+        op_id: Optional[int] = None,
+        origin: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        pid: Optional[int] = None,
+        injected_at: Optional[int] = None,
+        seq: Optional[int] = None,
+        corrupted: bool = False,
+    ):
+        if size_bytes <= 0:
             raise ValueError("packet size must be positive")
-        if self.src == self.dst:
+        if src == dst:
             raise ValueError(
-                f"packet {self.kind} sent from node {self.src} to itself; "
+                f"packet {kind} sent from node {src} to itself; "
                 "local operations must not enter the fabric"
             )
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.address = address
+        self.value = value
+        self.op_id = op_id
+        self.origin = origin
+        self.meta = _EMPTY_META if meta is None else meta
+        self.pid = next(_packet_ids) if pid is None else pid
+        self.injected_at = injected_at
+        self.seq = seq
+        self.corrupted = corrupted
 
     def reply_to(self) -> int:
         """Node a reply to this packet should go to."""
         return self.src
+
+    def replace(self, **changes: Any) -> "Packet":
+        """A field-for-field copy with ``changes`` applied (including
+        the same ``pid``) — the retransmission clone of the reliable
+        transport, replacing ``dataclasses.replace``."""
+        clone = Packet.__new__(Packet)
+        for name in _PACKET_FIELDS:
+            setattr(clone, name, getattr(self, name))
+        for name, value in changes.items():
+            if name not in _PACKET_FIELDS:
+                raise TypeError(f"unknown packet field {name!r}")
+            setattr(clone, name, value)
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Packet#{self.pid} {self.kind.value} {self.src}->{self.dst} "
             f"addr={self.address} val={self.value}>"
         )
+
+
+class PacketPool:
+    """Recycles :class:`Packet` objects on a lossless fabric.
+
+    Ownership rules (see DESIGN.md, "Packet pooling"):
+
+    - A packet has exactly one owner at a time.  Senders acquire;
+      ownership travels with the packet through links and switches
+      (which never copy or retain it).
+    - The HIB servant/reply loops are the terminal consumers: they
+      release the packet after its handler returns.  Handlers must not
+      stash the packet object — anything needed later is copied out
+      (every coherence engine forwards a *fresh* packet).
+    - ``acquire`` re-stamps the recycled object with a fresh ``pid``
+      from the same global counter a new packet would use, so pid
+      streams — and therefore traces — are identical with and without
+      pooling.
+    - Pooling is wired **only when no fault injector is attached**:
+      fault duplication and the reliable transport's retransmit window
+      both create second references that outlive the service loop.
+
+    The free list is bounded; overflow packets are simply dropped for
+    the garbage collector.
+    """
+
+    __slots__ = ("_free", "max_free", "acquired", "recycled")
+
+    def __init__(self, max_free: int = 512):
+        self._free: List[Packet] = []
+        self.max_free = max_free
+        self.acquired = 0
+        self.recycled = 0
+
+    def acquire(
+        self,
+        kind: PacketKind,
+        src: int,
+        dst: int,
+        size_bytes: int,
+        address: Optional[int] = None,
+        value: Optional[int] = None,
+        op_id: Optional[int] = None,
+        origin: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        injected_at: Optional[int] = None,
+    ) -> Packet:
+        free = self._free
+        if not free:
+            self.acquired += 1
+            return Packet(kind, src, dst, size_bytes, address=address,
+                          value=value, op_id=op_id, origin=origin,
+                          meta=meta, injected_at=injected_at)
+        if size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        if src == dst:
+            raise ValueError(
+                f"packet {kind} sent from node {src} to itself; "
+                "local operations must not enter the fabric"
+            )
+        packet = free.pop()
+        self.recycled += 1
+        packet.kind = kind
+        packet.src = src
+        packet.dst = dst
+        packet.size_bytes = size_bytes
+        packet.address = address
+        packet.value = value
+        packet.op_id = op_id
+        packet.origin = origin
+        packet.meta = _EMPTY_META if meta is None else meta
+        packet.pid = next(_packet_ids)
+        packet.injected_at = injected_at
+        packet.seq = None
+        packet.corrupted = False
+        return packet
+
+    def release(self, packet: Packet) -> None:
+        free = self._free
+        if len(free) < self.max_free:
+            packet.meta = _EMPTY_META  # drop payload references early
+            free.append(packet)
+
+
+class _NullPacketPool(PacketPool):
+    """Pay-for-use stand-in when pooling is unsafe (fault injection):
+    ``acquire`` constructs a fresh packet, ``release`` drops it."""
+
+    __slots__ = ()
+
+    def acquire(self, kind, src, dst, size_bytes, address=None, value=None,
+                op_id=None, origin=None, meta=None, injected_at=None):
+        return Packet(kind, src, dst, size_bytes, address=address,
+                      value=value, op_id=op_id, origin=origin,
+                      meta=meta, injected_at=injected_at)
+
+    def release(self, packet: Packet) -> None:
+        return None
+
+
+#: Shared inert pool for faulty fabrics and tests.
+NULL_POOL = _NullPacketPool(max_free=0)

@@ -53,6 +53,9 @@ class Switch:
         self._inputs: Dict[object, BoundedQueue] = {}
         self._outputs: Dict[NextHop, BoundedQueue] = {}
         self._routes: Dict[int, NextHop] = {}
+        # Resolved at install_routes time: dst host -> (hop, output
+        # queue), so the forwarder's per-packet work is one dict hit.
+        self._resolved: Dict[int, tuple] = {}
         # The shared central buffer, as a token pool.
         slots = params.sizing.switch_buffer_slots
         self._slots = BoundedQueue(slots, name=f"sw{switch_id}.buf")
@@ -76,9 +79,9 @@ class Switch:
             name=f"sw{self.switch_id}.in.{label}",
         )
         self._inputs[label] = queue
-        self.sim.spawn(
-            self._forwarder(queue), name=f"sw{self.switch_id}.fwd.{label}"
-        )
+        forwarder = (self._forwarder_bare(queue) if self.injector is None
+                     else self._forwarder(queue))
+        self.sim.spawn(forwarder, name=f"sw{self.switch_id}.fwd.{label}")
         return queue
 
     def add_output(self, hop: NextHop, link_queue: BoundedQueue) -> None:
@@ -97,9 +100,46 @@ class Switch:
         )
 
     def install_routes(self, table: Dict[int, NextHop]) -> None:
+        """Install the routing table, resolving every entry to its
+        output queue up front.  Wiring errors (a route to a hop with
+        no output) therefore surface at build time, not mid-traffic."""
         self._routes = dict(table)
+        self._resolved = {}
+        for dst, hop in self._routes.items():
+            out_queue = self._outputs.get(hop)
+            if out_queue is None:
+                raise RuntimeError(
+                    f"switch {self.switch_id!r} routed to unwired hop {hop!r}"
+                )
+            self._resolved[dst] = (hop, out_queue)
 
     # -- datapath -----------------------------------------------------------
+
+    def _forwarder_bare(self, in_queue: BoundedQueue):
+        """Lossless input stage: one resolved-route dict hit per
+        packet, no fault-site tests.  Yields the same waitable sequence
+        as :meth:`_forwarder` for every packet, so spawning one variant
+        or the other cannot change the event schedule."""
+        route_ns = self.params.timing.switch_route_ns
+        label = in_queue.name
+        get = in_queue.get
+        voqs: Dict[NextHop, BoundedQueue] = {}
+        voq_get = voqs.get
+        while True:
+            packet: Packet = yield get()
+            pair = self._resolved.get(packet.dst)
+            if pair is None:
+                raise RuntimeError(
+                    f"switch {self.switch_id!r} has no route to host {packet.dst} "
+                    f"(packet {packet!r})"
+                )
+            hop, _out = pair
+            yield route_ns
+            voq = voq_get(hop)
+            if voq is None:
+                voq = self._make_voq(label, hop, voqs)
+            # Blocks only when THIS destination's VOQ is full.
+            yield voq.put(packet)
 
     def _forwarder(self, in_queue: BoundedQueue):
         """Input stage: route into a per-(input, output) virtual output
@@ -124,31 +164,36 @@ class Switch:
                     deliveries = 2
                 elif action.kind == "stall":
                     yield action.stall_ns
-            hop = self._routes.get(packet.dst)
-            if hop is None:
+            pair = self._resolved.get(packet.dst)
+            if pair is None:
                 raise RuntimeError(
                     f"switch {self.switch_id!r} has no route to host {packet.dst} "
                     f"(packet {packet!r})"
                 )
-            if hop not in self._outputs:
-                raise RuntimeError(
-                    f"switch {self.switch_id!r} routed to unwired hop {hop!r}"
-                )
+            hop, _out = pair
             yield route_ns
             voq = voqs.get(hop)
             if voq is None:
-                voq = BoundedQueue(
-                    self.params.sizing.switch_port_fifo,
-                    name=f"{label}.voq.{hop}",
-                )
-                voqs[hop] = voq
-                self.sim.spawn(
-                    self._voq_pump(voq, self._outputs[hop]),
-                    name=f"{label}.pump.{hop}",
-                )
+                voq = self._make_voq(label, hop, voqs)
             for _ in range(deliveries):
                 # Blocks only when THIS destination's VOQ is full.
                 yield voq.put(packet)
+
+    def _make_voq(self, label: str, hop: NextHop,
+                  voqs: Dict[NextHop, BoundedQueue]) -> BoundedQueue:
+        """Lazily create a virtual output queue and its pump.  Lazy so
+        the pump-spawn order (and thus the event schedule) depends only
+        on traffic, exactly as it did before route precomputation."""
+        voq = BoundedQueue(
+            self.params.sizing.switch_port_fifo,
+            name=f"{label}.voq.{hop}",
+        )
+        voqs[hop] = voq
+        self.sim.spawn(
+            self._voq_pump(voq, self._outputs[hop]),
+            name=f"{label}.pump.{hop}",
+        )
+        return voq
 
     def _voq_pump(self, voq: BoundedQueue, out_queue: BoundedQueue):
         """Move one VOQ's packets into the shared buffer / output

@@ -179,6 +179,7 @@ def by_name(name: str, n_hosts: int) -> Topology:
 
 
 def _trim_hosts(topo: Topology, n_hosts: int) -> None:
-    for node in list(topo.host_attachment):
+    # Snapshot: entries are deleted while iterating.
+    for node in tuple(topo.host_attachment):
         if node >= n_hosts:
             del topo.host_attachment[node]

@@ -56,11 +56,13 @@ def chrome_trace(cluster) -> Dict[str, Any]:
     events: List[dict] = []
 
     pids = {station.node_id for station in cluster.nodes}
-    for pid in sorted(pids):
-        events.append({
+    events.extend(
+        {
             "name": "process_name", "ph": "M", "ts": 0.0,
             "pid": pid, "tid": 0, "args": {"name": f"node{pid}"},
-        })
+        }
+        for pid in sorted(pids)
+    )
     events.append({
         "name": "process_name", "ph": "M", "ts": 0.0,
         "pid": FABRIC_PID, "tid": 0, "args": {"name": "fabric"},

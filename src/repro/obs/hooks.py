@@ -131,6 +131,6 @@ class EventLoopProfiler(KernelHooks):
         if hot:
             lines.append(f"  hottest callbacks (top {len(hot)}):")
             width = max(len(label) for label, _ in hot)
-            for label, count in hot:
-                lines.append(f"    {label:<{width}}  {count}")
+            lines.extend(f"    {label:<{width}}  {count}"
+                         for label, count in hot)
         return "\n".join(lines)

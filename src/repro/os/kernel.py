@@ -96,10 +96,10 @@ class NodeOS:
         n_pages: int = 1,
     ) -> None:
         vpage = vaddr // space.amap.page_bytes
-        for i in range(n_pages):
-            self.shared_mappings.append(
-                SharedMapping(space, vpage + i, home, gpage + i)
-            )
+        self.shared_mappings.extend(
+            SharedMapping(space, vpage + i, home, gpage + i)
+            for i in range(n_pages)
+        )
 
     def mappings_of(self, home: int, gpage: int) -> List[SharedMapping]:
         return [

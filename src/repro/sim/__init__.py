@@ -17,10 +17,13 @@ links, switches, the OS model — runs on this kernel.  It provides:
 """
 
 from repro.sim.kernel import (
+    READY,
     Delay,
+    EventHandle,
     Future,
     Interrupt,
     Process,
+    Ready,
     SimulationDeadlock,
     Simulator,
     Waitable,
@@ -33,7 +36,10 @@ __all__ = [
     "Accumulator",
     "BoundedQueue",
     "Delay",
+    "EventHandle",
     "Future",
+    "READY",
+    "Ready",
     "Interrupt",
     "Process",
     "QueueClosed",

@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
-from repro.sim.kernel import Future
+from repro.sim.kernel import READY, Future, Ready, Waitable
 
 
 class QueueClosed(RuntimeError):
@@ -67,10 +67,11 @@ class BoundedQueue:
 
     # -- blocking interface ------------------------------------------------
 
-    def put(self, item: Any) -> Future:
-        """Enqueue ``item``; the future resolves once it is accepted."""
-        future = Future()
+    def put(self, item: Any) -> Waitable:
+        """Enqueue ``item``; the returned waitable resolves once it is
+        accepted — the shared done-token when accepted immediately."""
         if self._closed:
+            future = Future()
             future.set_exception(QueueClosed(self.name))
             return future
         if self._getters and not self._items:
@@ -78,23 +79,25 @@ class BoundedQueue:
             getter = self._getters.popleft()
             self._account_put()
             getter.set_result(item)
-            future.set_result(None)
-        elif not self.full:
+            return READY
+        if len(self._items) < self.capacity:
             self._items.append(item)
             self._account_put()
-            future.set_result(None)
-        else:
-            self._putters.append((future, item))
+            return READY
+        future = Future()
+        self._putters.append((future, item))
         return future
 
-    def get(self) -> Future:
-        """Dequeue the oldest item; the future resolves with it."""
-        future = Future()
+    def get(self) -> Waitable:
+        """Dequeue the oldest item; the returned waitable resolves with
+        it — an already-done token when an item was waiting."""
         if self._items:
             item = self._items.popleft()
-            self._admit_blocked_putter()
-            future.set_result(item)
-        elif self._closed:
+            if self._putters:
+                self._admit_blocked_putter()
+            return Ready(item)
+        future = Future()
+        if self._closed:
             future.set_exception(QueueClosed(self.name))
         else:
             self._getters.append(future)

@@ -5,9 +5,10 @@ The retry/timeout machinery of the reliable HIB transport
 back, and cancelled many times over its life — the classic
 retransmission timer of every reliable link protocol.  Building it on
 :meth:`~repro.sim.kernel.Simulator.schedule` plus
-:class:`~repro.sim.kernel.EventHandle` cancellation keeps the event
-heap clean (a superseded expiry is cancelled, not filtered at fire
-time) and the behaviour fully deterministic.
+:class:`~repro.sim.kernel.EventHandle` cancellation keeps behaviour
+fully deterministic, and the kernel's tombstone compaction reclaims
+cancelled expiries, so an arbitrarily long cancel/re-arm history
+cannot grow the event heap without bound.
 """
 
 from __future__ import annotations

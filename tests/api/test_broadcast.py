@@ -66,8 +66,10 @@ def test_sender_waits_for_slowest_receiver():
             got[node].append((yield from channel.receivers[node].recv()))
 
     ctxs = [cluster.start(sp, send)]
-    for node, proc in rps.items():
-        ctxs.append(cluster.start(proc, lambda p, node=node: recv(p, node)))
+    ctxs.extend(
+        cluster.start(proc, lambda p, node=node: recv(p, node))
+        for node, proc in rps.items()
+    )
     cluster.run_programs(ctxs)
     for node in rps:
         assert [m[0] for m in got[node]] == list(range(n))

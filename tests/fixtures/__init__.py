@@ -1,0 +1,1 @@
+"""Pinned golden fixtures (byte-exact Chrome-trace exports)."""

@@ -1,0 +1,34 @@
+"""Determinism regression against pinned byte-exact fixtures.
+
+The fixtures were exported by the pre-refactor kernel, so these tests
+prove the fast-path refactor (slotted events, packet pooling, fast run
+loops) preserved the simulator's event schedule bit-for-bit — not just
+"a deterministic schedule", but *the same* schedule.
+"""
+
+from tests.fixtures.golden_runs import (
+    COHERENCE_FIXTURE,
+    RETRY_FIXTURE,
+    canonical_trace_bytes,
+    coherence_run,
+    retry_run,
+)
+
+
+def _assert_matches_fixture(cluster, path):
+    with open(path, "rb") as fh:
+        expected = fh.read()
+    actual = canonical_trace_bytes(cluster)
+    assert actual == expected, (
+        f"Chrome-trace output drifted from pinned fixture {path}; if "
+        "the change is an intentional semantic change, regenerate via "
+        "`PYTHONPATH=src python -m tests.fixtures.golden_runs --regen`"
+    )
+
+
+def test_retry_trace_matches_pinned_fixture():
+    _assert_matches_fixture(retry_run(), RETRY_FIXTURE)
+
+
+def test_coherence_trace_matches_pinned_fixture():
+    _assert_matches_fixture(coherence_run(), COHERENCE_FIXTURE)

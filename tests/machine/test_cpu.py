@@ -221,7 +221,7 @@ def test_preemption_switches_between_programs():
     order = []
 
     def prog(tag, n):
-        for i in range(n):
+        for _ in range(n):
             yield Think(100)
             order.append((tag, sim.now))
 

@@ -160,7 +160,7 @@ def test_property_in_order_per_source(topo_name, n_hosts, data):
 
     received = {h: [] for h in hosts}
     expect_per_host = {h: 0 for h in hosts}
-    for (src, dst), c in counts.items():
+    for (_src, dst), c in counts.items():
         expect_per_host[dst] += c
     drains = [
         drain(sim, fabric, h, received[h], expect_per_host[h])

@@ -63,7 +63,7 @@ def test_backpressure_stalls_source_drain():
     its pipeline (destination + wire stage + serializer) is full and
     the source queue retains the rest."""
     sim, _, src, dst, link = setup_link(src_cap=5, dst_cap=1)
-    for i in range(5):
+    for _ in range(5):
         src.try_put(make_packet(size=10))
     sim.run(until=1_000_000)
     assert len(dst) == 1

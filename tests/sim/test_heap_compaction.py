@@ -1,0 +1,75 @@
+"""Regression tests for the cancelled-event heap leak.
+
+Before tombstone compaction, every cancelled :class:`~repro.sim.Timer`
+expiry stayed in the event heap until its deadline passed — a
+retransmission timer cancelled and re-armed N times left N-1 dead
+entries behind.  The kernel now counts tombstones and compacts the
+heap in place once they dominate, so an arbitrarily long cancel
+history keeps the heap bounded by the live-event population.
+"""
+
+from repro.sim import Simulator, Timer
+
+#: Compaction triggers above ``_COMPACT_MIN`` tombstones once they
+#: make up half the heap; any generous constant multiple of it is a
+#: safe "bounded, not linear in cancellations" ceiling.
+HEAP_BOUND = 4 * Simulator._COMPACT_MIN
+
+CYCLES = 10_000
+
+
+def test_timer_cancel_cycles_keep_heap_bounded():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    peak = 0
+    for _ in range(CYCLES):
+        timer.start(1_000_000)
+        timer.cancel()
+        if len(sim._heap) > peak:
+            peak = len(sim._heap)
+    assert peak <= HEAP_BOUND, (
+        f"heap grew to {peak} entries across {CYCLES} cancel cycles"
+    )
+    sim.run()
+    assert not fired
+
+
+def test_timer_rearm_cycles_keep_heap_bounded():
+    # start() on an armed timer cancels the pending expiry implicitly:
+    # the re-arm path must compact just like explicit cancellation.
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    peak = 0
+    for _ in range(CYCLES):
+        timer.start(1_000_000)
+        if len(sim._heap) > peak:
+            peak = len(sim._heap)
+    assert peak <= HEAP_BOUND
+    sim.run()
+    assert fired == [1_000_000]  # exactly the last arm fires
+
+
+def test_schedule_cancel_cycles_keep_heap_bounded():
+    sim = Simulator()
+    peak = 0
+    for i in range(CYCLES):
+        sim.schedule(10 + i, lambda: None).cancel()
+        if len(sim._heap) > peak:
+            peak = len(sim._heap)
+    assert peak <= HEAP_BOUND
+
+
+def test_live_events_survive_compaction():
+    # Interleave live events with a flood of cancellations and check
+    # every live event still fires, in order.
+    sim = Simulator()
+    hits = []
+    for i in range(100):
+        sim.schedule(1000 + i, hits.append, i)
+        for _ in range(10):
+            sim.schedule(5000, lambda: None).cancel()
+    executed = sim.run()
+    assert hits == list(range(100))
+    assert executed == 100

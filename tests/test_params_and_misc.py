@@ -48,7 +48,9 @@ def test_sizing_page_words():
 
 
 def test_params_frozen():
-    with pytest.raises(Exception):
+    import dataclasses
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
         DEFAULT_PARAMS.prototype = 2  # type: ignore[misc]
 
 
