@@ -1,92 +1,20 @@
 """[A3] Ablation — data alignment and false sharing (the [22] study).
 
-§2.2.6 cites the authors' trace-driven companion paper on
-"Data-Alignment and Other Factors affecting Update and Invalidate
-Based Coherent Memory".  The decisive factor there is **granularity**:
-
-- software DSM is *page*-granular: two nodes writing different words
-  of the same page ("false sharing") ping-pong ownership of the whole
-  page, paying a fault + page transfer per transition;
-- Telegraphos updates are *word*-granular: the same access pattern
-  produces only independent single-word updates.
-
-Three traces (false sharing / true sharing / page-aligned private
-data) run under Telegraphos replicas and under VSM.  Expected shape:
-VSM collapses on false sharing (its worst case), is acceptable on
-aligned private data (fault once, then local), and Telegraphos is
-insensitive to alignment.
+The three-trace / two-system matrix lives in
+:mod:`repro.exp.experiments.a3_false_sharing`; this harness asserts
+the granularity story: page-granular VSM collapses on false sharing,
+word-granular Telegraphos is insensitive to alignment.
 """
 
-from repro.analysis import Table
-from repro.api import Cluster
-from repro.workloads import (
-    TracePlayer,
-    false_sharing_trace,
-    private_pages_trace,
-    true_sharing_trace,
-)
-
-NODES = [1, 2]
-REFS = 12
-# Inter-access compute spacing beyond the ~0.5 ms VSM fault cost, so
-# each sharing transition completes before the next reference (the
-# "interact rather infrequently" regime §2.1 says VSM needs).
-THINK_NS = 800_000
-
-
-def traces():
-    return {
-        "false sharing": false_sharing_trace(NODES, REFS, think_ns=THINK_NS),
-        "true sharing": true_sharing_trace(NODES, REFS, think_ns=THINK_NS),
-        "private pages": private_pages_trace(NODES, REFS, think_ns=THINK_NS),
-    }
-
-
-def run_case(mode, protocol, trace):
-    cluster = Cluster(n_nodes=3, protocol=protocol)
-    seg = cluster.alloc_segment(home=0, pages=max(1, trace.n_pages),
-                                name="study")
-    player = TracePlayer(cluster, seg, mode=mode)
-    result = player.run(trace)
-    faults = 0
-    if player._vsm is not None:
-        faults = player._vsm.read_faults + player._vsm.write_faults
-    # Coherence sanity for the hardware runs.
-    if mode == "replica":
-        checker = cluster.checker()
-        assert not checker.subsequence_violations()
-    return {
-        "mean_us": result.mean_latency_ns / 1000.0,
-        "faults": faults,
-    }
-
-
-def run_matrix():
-    out = {}
-    for name, trace in traces().items():
-        out[name] = {
-            "telegraphos": run_case("replica", "telegraphos", trace),
-            "vsm": run_case("vsm", "none", trace),
-        }
-    return out
+from repro.exp.experiments.a3_false_sharing import NODES, SPEC, run
 
 
 def test_ablation_false_sharing(once):
-    results = once(run_matrix)
-    table = Table(
-        ["trace", "system", "mean access (us)", "page transitions"],
-        title="[22]-style study — alignment sensitivity "
-              "(word-granular updates vs page-granular DSM)",
-    )
-    for name, row in results.items():
-        table.add_row(name, "telegraphos", row["telegraphos"]["mean_us"], "-")
-        table.add_row(name, "vsm", row["vsm"]["mean_us"],
-                      row["vsm"]["faults"])
+    results = once(run, **SPEC.params)
     print()
-    print(table.render())
-
-    fs = results["false sharing"]
-    private = results["private pages"]
+    print(SPEC.render(results))
+    fs = results["false_sharing"]
+    private = results["private_pages"]
     # VSM's false-sharing collapse: orders of magnitude slower than
     # Telegraphos on the identical reference stream.
     assert fs["vsm"]["mean_us"] > 20 * fs["telegraphos"]["mean_us"]

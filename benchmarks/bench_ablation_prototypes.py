@@ -1,131 +1,32 @@
 """[A1] Ablation — Telegraphos I vs Telegraphos II design choices.
 
-§2.2.1 and §2.2.4 describe two axes on which the prototypes differ,
-and the paper argues each way:
-
-1. **Local shared data placement**: Tg I keeps it in the HIB's MPM
-   ("better control over all Telegraphos operations"); Tg II keeps it
-   in main memory ("cacheability and faster access to shared data").
-   Measured: cost of a local shared-data read/write on each.
-
-2. **Special-operation launching**: Tg I uses special mode + PAL (an
-   uninterruptible multi-store sequence); Tg II uses contexts + shadow
-   addressing + keys (more stores, but interruptible and per-process).
-   Measured: end-to-end cost of a remote fetch&add launch on each.
-
-Neither dominates — which is precisely why the paper built both.
+The two-axis measurement (local shared-data access; special-operation
+launch cost) lives in :mod:`repro.exp.experiments.a1_prototypes`; this
+harness asserts the trade-offs the paper argues for each prototype.
 """
 
-from repro.analysis import Table, measure_single_ops, us
-from repro.api import Cluster
-from repro.params import Params
-
-
-def local_shared_access_us(prototype):
-    cluster = Cluster(n_nodes=2, params=Params(prototype=prototype),
-                      trace=False)
-    seg = cluster.alloc_segment(home=0, pages=1, name="local")
-    proc = cluster.create_process(node=0, name="p")
-    base = proc.map(seg)
-    reads = measure_single_ops(
-        cluster, proc, lambda i: proc.load(base + 4 * (i % 16)), count=40,
-        fence_between=False,
-    )
-    writes = measure_single_ops(
-        cluster, proc, lambda i: proc.store(base + 4 * (i % 16), i), count=40,
-        fence_between=False,
-    )
-    return us(reads.mean), us(writes.mean)
-
-
-def atomic_launch_us(prototype):
-    """Returns (launch-sequence overhead, total) in µs for a remote
-    fetch&add.  The launch overhead is the cost of the argument-passing
-    stores alone (everything before the triggering read)."""
-    cluster = Cluster(n_nodes=2, params=Params(prototype=prototype),
-                      trace=False)
-    seg = cluster.alloc_segment(home=1, pages=1, name="sync")
-    proc = cluster.create_process(node=0, name="p")
-    base = proc.map(seg)
-    driver = proc.station.driver
-    binding = proc.binding
-    marks = {"stores": [], "total": []}
-
-    from repro.hib.registers import Reg
-    from repro.hib.special import SpecialOpcode
-    from repro.machine.ops import Load, PalSequence, Store
-
-    def program(p):
-        yield from p.fetch_and_add(base, 1)  # warm-up (TLB, mappings)
-        for _ in range(20):
-            start = cluster.now
-            if prototype == 1:
-                yield PalSequence([
-                    Store(binding.hib_vaddr + Reg.SPECIAL_MODE,
-                          SpecialOpcode.FETCH_AND_ADD.value),
-                    Store(base, 1),
-                ])
-                marks["stores"].append(cluster.now - start)
-                yield Load(binding.hib_vaddr + Reg.SPECIAL_RESULT)
-            else:
-                yield Store(binding.ctx_vaddr + Reg.CTX_OPCODE,
-                            SpecialOpcode.FETCH_AND_ADD.value)
-                yield Store(binding.ctx_vaddr + Reg.CTX_OPERAND0, 1)
-                yield Store(driver.shadow_for(binding, base),
-                            Reg.shadow_argument(binding.ctx_id, binding.key))
-                marks["stores"].append(cluster.now - start)
-                yield Load(binding.ctx_vaddr + Reg.CTX_GO)
-            marks["total"].append(cluster.now - start)
-
-    cluster.run_programs([cluster.start(proc, program)])
-    assert seg.peek(0) == 21
-    mean = lambda xs: sum(xs) / len(xs)
-    return us(mean(marks["stores"])), us(mean(marks["total"]))
-
-
-def run_ablation():
-    out = {}
-    for prototype in (1, 2):
-        read_us, write_us = local_shared_access_us(prototype)
-        launch_us, total_us = atomic_launch_us(prototype)
-        out[prototype] = {
-            "read_us": read_us,
-            "write_us": write_us,
-            "launch_us": launch_us,
-            "atomic_us": total_us,
-        }
-    return out
+from repro.exp.experiments.a1_prototypes import SPEC, run
 
 
 def test_ablation_prototype_tradeoffs(once):
-    results = once(run_ablation)
-    table = Table(
-        ["prototype", "local shared read (us)", "local shared write (us)",
-         "atomic launch stores (us)", "remote fetch&add total (us)"],
-        title="Ablation — Telegraphos I (MPM + PAL) vs II (DRAM + contexts)",
-    )
-    table.add_row("Telegraphos I", results[1]["read_us"],
-                  results[1]["write_us"], results[1]["launch_us"],
-                  results[1]["atomic_us"])
-    table.add_row("Telegraphos II", results[2]["read_us"],
-                  results[2]["write_us"], results[2]["launch_us"],
-                  results[2]["atomic_us"])
+    results = once(run, **SPEC.params)
     print()
-    print(table.render())
+    print(SPEC.render(results))
+    tg1, tg2 = results["tg1"], results["tg2"]
     # §2.2.1's claim for Tg II: "faster access to shared data" —
     # local shared READS skip the TurboChannel entirely.
-    assert results[2]["read_us"] < results[1]["read_us"] / 2
+    assert tg2["read_us"] < tg1["read_us"] / 2
     # Tg II local shared *writes* still cross the TC (the HIB must see
     # them), so reads improve far more than writes do.
-    read_gain = results[1]["read_us"] / results[2]["read_us"]
-    write_gain = results[1]["write_us"] / results[2]["write_us"]
+    read_gain = tg1["read_us"] / tg2["read_us"]
+    write_gain = tg1["write_us"] / tg2["write_us"]
     assert read_gain > 1.4 * write_gain
     # The Tg II launch sequence (context regs + shadow store + GO) has
     # one more argument store than Tg I's PAL pair, so the launch
     # overhead itself is strictly higher...
-    assert results[2]["launch_us"] > results[1]["launch_us"]
+    assert tg2["launch_us"] > tg1["launch_us"]
     # ...but the end-to-end atomic still lands within ~25%: both are
     # dominated by the network round trip, and Tg II's home-side
     # read-modify-write runs in fast main memory instead of the MPM.
-    ratio = results[2]["atomic_us"] / results[1]["atomic_us"]
+    ratio = tg2["atomic_us"] / tg1["atomic_us"]
     assert 0.75 < ratio < 1.25

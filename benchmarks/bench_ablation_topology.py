@@ -1,72 +1,23 @@
 """[A2] Ablation — latency and throughput across cluster topologies.
 
-Figure 1 shows the prototype's workstations hanging off one or two
-switches connected by ribbon cables.  This ablation scales that out:
-blocking-read latency grows with switch hop count (each hop adds
-store-and-forward serialization plus routing), while the streamed
-remote-write cost stays pinned at the *bottleneck link* rate — writes
-don't wait for the path, which is the §2.2.1 asymmetry again, now as
-a function of distance.
+The hop-count sweep lives in :mod:`repro.exp.experiments.a2_topology`;
+this harness asserts the §2.2.1 asymmetry as a function of distance:
+blocking reads degrade with hop count, streamed writes stay pinned at
+the bottleneck-link rate.
 """
 
-from repro.analysis import Table, measure_op_stream, us
-from repro.api import Cluster
-from repro.network.routing import route_length
-
-
-def measure_pair(topology, n_nodes, src, dst):
-    cluster = Cluster(n_nodes=n_nodes, topology=topology, trace=False)
-    seg = cluster.alloc_segment(home=dst, pages=2, name="bench")
-    proc = cluster.create_process(node=src, name="bench")
-    base = proc.map(seg)
-    hops = route_length(cluster.fabric.topology, src, dst)
-    read_us = us(
-        measure_op_stream(
-            cluster, proc, lambda i: proc.load(base + 4 * (i % 64)),
-            count=60, fence_at_end=False,
-        )
-    )
-    cluster2 = Cluster(n_nodes=n_nodes, topology=topology, trace=False)
-    seg2 = cluster2.alloc_segment(home=dst, pages=2, name="bench")
-    proc2 = cluster2.create_process(node=src, name="bench")
-    base2 = proc2.map(seg2)
-    write_us = us(
-        measure_op_stream(
-            cluster2, proc2, lambda i: proc2.store(base2 + 4 * (i % 64), i),
-            count=2000,
-        )
-    )
-    return {"hops": hops, "read_us": read_us, "write_us": write_us}
-
-
-def run_topologies():
-    cases = [
-        ("star", 4, 0, 1),      # same switch
-        ("chain", 4, 0, 3),     # 2 switches
-        ("chain", 8, 0, 7),     # 4 switches
-        ("mesh", 8, 0, 7),      # 2x2 mesh, tree route
-    ]
-    return {
-        f"{name}/{n}n {src}->{dst}": measure_pair(name, n, src, dst)
-        for name, n, src, dst in cases
-    }
+from repro.exp.experiments.a2_topology import SPEC, run
 
 
 def test_ablation_topology_scaling(once):
-    results = once(run_topologies)
-    table = Table(
-        ["route", "switch hops", "read (us)", "streamed write (us)"],
-        title="Ablation — remote-op cost vs switch hop count",
-    )
-    for name, r in results.items():
-        table.add_row(name, r["hops"], r["read_us"], r["write_us"])
+    result = once(run, **SPEC.params)
     print()
-    print(table.render())
-    ordered = sorted(results.values(), key=lambda r: r["hops"])
+    print(SPEC.render(result))
+    ordered = sorted(result["cases"], key=lambda case: case["hops"])
     assert ordered[0]["hops"] < ordered[-1]["hops"]
     # Reads degrade with distance...
     assert ordered[-1]["read_us"] > ordered[0]["read_us"] * 1.3
     # ...while streamed writes stay at the network transfer rate
     # regardless of hop count (within 10%).
-    write_costs = [r["write_us"] for r in results.values()]
+    write_costs = [case["write_us"] for case in result["cases"]]
     assert max(write_costs) < min(write_costs) * 1.10

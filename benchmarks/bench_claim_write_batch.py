@@ -1,58 +1,31 @@
 """[C1] §3.2 in-text claim — "a stream of 100 remote write operations
-takes less than 50 µs, thus each of the remote write operations takes
-less than 0.5 µs ... short batches of write operations may take
+takes less than 50 µs ... short batches of write operations may take
 advantage of Telegraphos queueing."
 
-Measures the processor-visible cost of a 100-write burst (the HIB
-FIFO absorbs it at issue rate) against the sustained 10000-write rate
-(bounded by the network transfer rate), and sweeps the batch size to
-show where queueing stops helping — the crossover at roughly the
-FIFO depth.
+The measurement lives in :mod:`repro.exp.experiments.c1_write_batch`;
+this harness asserts the paper's two anchors and the batch-size
+crossover shape.
 """
 
-from repro.analysis import Table, measure_op_stream, us
-from repro.api import Cluster
-
-PAPER_BATCH_LIMIT_US = 0.5
-PAPER_SUSTAINED_US = 0.70
-
-
-def batch_cost_us(count, fence=False):
-    cluster = Cluster(n_nodes=2, trace=False)
-    segment = cluster.alloc_segment(home=1, pages=2, name="bench")
-    proc = cluster.create_process(node=0, name="bench")
-    base = proc.map(segment)
-    per_op = measure_op_stream(
-        cluster, proc, lambda i: proc.store(base + 4 * (i % 1024), i),
-        count=count, fence_at_end=fence,
-    )
-    return us(per_op)
-
-
-def run_batches():
-    sizes = [10, 50, 100, 200, 500, 2000, 10000]
-    return {size: batch_cost_us(size) for size in sizes}
+from repro.exp.experiments.c1_write_batch import (
+    PAPER_BATCH_LIMIT_US,
+    PAPER_SUSTAINED_US,
+    SPEC,
+    run,
+)
 
 
 def test_write_batch_queueing(once):
-    results = once(run_batches)
-    table = Table(["batch size", "us/write", "paper"],
-                  title="S3.2 — Remote write cost vs batch length")
-    for size, cost in results.items():
-        note = ""
-        if size == 100:
-            note = "< 0.5 (100 writes < 50 us)"
-        if size == 10000:
-            note = "0.70 (network transfer rate)"
-        table.add_row(size, cost, note)
+    result = once(run, **SPEC.params)
     print()
-    print(table.render())
+    print(SPEC.render(result))
+    costs = {b["size"]: b["us_per_write"] for b in result["batches"]}
     # The paper's two anchors:
-    assert results[100] < PAPER_BATCH_LIMIT_US
-    assert results[100] * 100 < 50.0
-    assert abs(results[10000] - PAPER_SUSTAINED_US) / PAPER_SUSTAINED_US < 0.10
+    assert costs[100] < PAPER_BATCH_LIMIT_US
+    assert costs[100] * 100 < 50.0
+    assert abs(costs[10000] - PAPER_SUSTAINED_US) / PAPER_SUSTAINED_US < 0.10
     # Shape: once past startup amortization (tiny batches spread the
     # first write's latency over few ops), cost rises monotonically
     # from the issue rate toward the network transfer rate.
-    assert results[100] <= results[500] <= results[2000] <= results[10000] * 1.01
-    assert results[100] < results[10000]
+    assert costs[100] <= costs[500] <= costs[2000] <= costs[10000] * 1.01
+    assert costs[100] < costs[10000]

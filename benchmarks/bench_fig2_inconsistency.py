@@ -1,81 +1,29 @@
 """[F2] Figure 2 — "Inconsistency caused by multicasting in the lack
 of ownership."
 
-Two processors update their own copy of the same page simultaneously
-and multicast their updates.  Without ownership the updates are
-applied in different orders at different nodes and the copies
-*diverge* — and stay divergent.  Serializing all updates through the
-page's owner (§2.3.1) repairs it.
-
-Output: per-protocol divergence report for the same write pattern.
+The scenario (two concurrent writers multicasting updates to the same
+page, plus an observer replica) lives in
+:mod:`repro.exp.experiments.f2_inconsistency`; this harness asserts
+the figure's claim — no ownership means permanent divergence — and
+§2.3.1's fix.
 """
 
-from repro.analysis import Table
-from repro.api import Cluster
-
-
-def run_two_writers(protocol):
-    cluster = Cluster(n_nodes=4, protocol=protocol)
-    seg = cluster.alloc_segment(home=0, pages=1, name="page")
-    procs, bases = [], []
-    for node in (1, 2):
-        proc = cluster.create_process(node=node, name=f"w{node}")
-        bases.append(proc.map(seg, mode="replica"))
-        procs.append(proc)
-    # An observer replica that never writes (Figure 2's third copy).
-    observer = cluster.create_process(node=3, name="obs")
-    observer.map(seg, mode="replica")
-
-    contexts = []
-    for proc, base, value in zip(procs, bases, (111, 222)):
-        def program(p, base=base, value=value):
-            yield p.store(base, value)
-
-        contexts.append(cluster.start(proc, program))
-    cluster.run_programs(contexts)
-    checker = cluster.checker()
-    divergent = checker.divergent_words(cluster.backends(), words_per_page=1)
-    violations = checker.subsequence_violations()
-    copies = {
-        node: cluster.node(node).backend.peek(
-            cluster.directory.group(0, seg.gpage).local_offset(node, 0)
-        )
-        for node in range(4)
-    }
-    return {
-        "divergent": divergent,
-        "violations": violations,
-        "copies": copies,
-    }
-
-
-def run_figure2():
-    return {p: run_two_writers(p) for p in ("eager", "owner-stale", "telegraphos")}
+from repro.exp.experiments.f2_inconsistency import SPEC, run
 
 
 def test_figure2_multicast_inconsistency(once):
-    results = once(run_figure2)
-    table = Table(
-        ["protocol", "copies (nodes 0..3)", "divergent words", "order violations"],
-        title="Figure 2 — concurrent writers, multicast updates",
-    )
-    for protocol, r in results.items():
-        table.add_row(
-            protocol,
-            " ".join(str(v) for v in r["copies"].values()),
-            len(r["divergent"]),
-            len(r["violations"]),
-        )
+    results = once(run, **SPEC.params)
     print()
-    print(table.render())
+    print(SPEC.render(results))
     # The figure's claim: no ownership -> divergence.
-    assert results["eager"]["divergent"], "eager multicast must diverge"
-    assert results["eager"]["violations"]
+    eager = results["eager"]
+    assert eager["divergent_words"] > 0, "eager multicast must diverge"
+    assert eager["order_violations"] > 0
     # The writers literally swap values (each applied its own first).
-    assert results["eager"]["copies"][1] != results["eager"]["copies"][2]
+    assert eager["copies"][1] != eager["copies"][2]
     # §2.3.1's fix: updates through the owner -> all copies identical.
     for protocol in ("owner-stale", "telegraphos"):
-        assert not results[protocol]["divergent"], protocol
-        values = set(results[protocol]["copies"].values())
-        assert len(values) == 1, protocol
-    assert not results["telegraphos"]["violations"]
+        r = results[protocol]
+        assert r["divergent_words"] == 0, protocol
+        assert len(set(r["copies"])) == 1, protocol
+    assert results["telegraphos"]["order_violations"] == 0

@@ -1,120 +1,22 @@
 """[S7] §1/§2.1 motivation — Telegraphos vs the software state of the
 art.
 
-"Most traditional environments need the intervention of the operating
-system to make even the simplest exchange of information between
-workstations" (sockets/PVM), and Virtual Shared Memory pays a page
-fault plus whole-page traffic per sharing transition.
-
-One word of information moves from node 0 to node 1 under three
-systems built on the same timing parameters:
-
-- Telegraphos: one user-level remote write (plus the fence-complete
-  round trip as the conservative upper bound);
-- sockets: one OS-mediated message (trap + copy + stack on each side);
-- VSM: one page-fault transition (traps + whole-page transfer).
-
-The paper's claim is an order-of-magnitude gap at each step; the
-measured ratios below show it.
+The three one-word-transfer measurements (user-level remote write,
+OS-mediated socket message, VSM page-fault transition) live in
+:mod:`repro.exp.experiments.s7_motivation`; this harness asserts the
+order-of-magnitude gap at each software layer.
 """
 
-from repro.analysis import Table, us
-from repro.api import Cluster
-from repro.baselines import SocketNetwork, VsmManager
-from repro.params import DEFAULT_PARAMS
-from repro.sim import Simulator
-
-
-def telegraphos_word_ns():
-    """One remote write, issue latency and fenced-complete latency."""
-    cluster = Cluster(n_nodes=2, trace=False)
-    seg = cluster.alloc_segment(home=1, pages=1, name="w")
-    proc = cluster.create_process(node=0, name="p")
-    base = proc.map(seg)
-    marks = {}
-
-    def program(p):
-        start = cluster.now
-        yield p.store(base, 1)
-        marks["issue"] = cluster.now - start
-        yield p.fence()
-        marks["complete"] = cluster.now - start
-
-    cluster.run_programs([cluster.start(proc, program)])
-    return marks
-
-
-def socket_word_ns():
-    sim = Simulator()
-    net = SocketNetwork(sim, DEFAULT_PARAMS, 2)
-    marks = {}
-
-    def sender():
-        start = sim.now
-        yield from net.socket(0).send(1, [1])
-        marks["send"] = sim.now - start
-
-    def receiver():
-        start = sim.now
-        yield from net.socket(1).recv()
-        marks["delivered"] = sim.now - start
-
-    sim.spawn(sender())
-    sim.spawn(receiver())
-    sim.run()
-    return marks
-
-
-def vsm_word_ns():
-    cluster = Cluster(n_nodes=2, trace=False)
-    seg = cluster.alloc_segment(home=0, pages=1, name="vsmseg")
-    seg.poke(0, 1)
-    vsm = VsmManager(cluster, seg)
-    proc = cluster.create_process(node=1, name="reader")
-    base = vsm.map_into(proc)
-    marks = {}
-
-    def program(p):
-        start = cluster.now
-        yield p.load(base)  # read fault: page transition
-        marks["fault"] = cluster.now - start
-        start = cluster.now
-        yield p.load(base)  # now local
-        marks["local"] = cluster.now - start
-
-    cluster.run_programs([cluster.start(proc, program)])
-    return marks
-
-
-def run_motivation():
-    return {
-        "telegraphos": telegraphos_word_ns(),
-        "sockets": socket_word_ns(),
-        "vsm": vsm_word_ns(),
-    }
+from repro.exp.experiments.s7_motivation import SPEC, run
 
 
 def test_motivation_one_word_transfer(once):
-    results = once(run_motivation)
+    results = once(run, **SPEC.params)
+    print()
+    print(SPEC.render(results))
     tele = results["telegraphos"]
     sock = results["sockets"]
     vsm = results["vsm"]
-    table = Table(
-        ["system", "one-word transfer (us)", "notes"],
-        title="S1/S2.1 — moving one word between workstations",
-    )
-    table.add_row("Telegraphos remote write (issue)", us(tele["issue"]),
-                  "user-level store")
-    table.add_row("Telegraphos remote write (fenced)", us(tele["complete"]),
-                  "incl. completion ack")
-    table.add_row("Sockets/PVM message", us(sock["delivered"]),
-                  "OS trap both sides")
-    table.add_row("VSM page fault", us(vsm["fault"]),
-                  "whole page + traps")
-    table.add_row("VSM after replication", us(vsm["local"]),
-                  "local once resident")
-    print()
-    print(table.render())
     # The motivating gaps: each software layer costs an order of
     # magnitude or more.
     assert sock["delivered"] > 10 * tele["issue"]

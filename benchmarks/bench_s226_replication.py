@@ -1,102 +1,21 @@
 """[S6] §2.2.6 — page access counters and alarm-based replication.
 
-"By setting the counters to small values, the operating system can
-implement alarm-based replication: when the number of accesses exceeds
-a predetermined value, the operating system is notified in order to
-make a replication decision.  Our simulation studies suggest that page
-access counters improve the performance of distributed shared memory
-applications."
-
-A reader node runs a seeded access stream against remote pages, under
-three policies:
-
-- never replicate (every access remote);
-- alarm-based replication at threshold N (the §2.2.6 design);
-- and the same alarm policy on a *uniform* stream, where no page is
-  hot and replication (correctly) never triggers.
-
-The shape: on the hot-page stream, alarm-based replication cuts the
-mean access latency by an order of magnitude after the alarm fires;
-on the uniform stream it stays out of the way.
+The three-policy access-stream comparison lives in
+:mod:`repro.exp.experiments.s6_replication`; this harness asserts the
+alarm fires exactly for the hot page, post-replication accesses go
+local, and a uniform stream never triggers it.
 """
 
-from repro.analysis import Table
-from repro.api import Cluster
-from repro.workloads import hot_page_stream, uniform_stream
-
-
-def run_stream(pattern, threshold):
-    """Run an access stream from node 0 against pages homed at 1.
-    ``threshold=None`` disables replication."""
-    cluster = Cluster(
-        n_nodes=2,
-        protocol="telegraphos",
-        replication_threshold=threshold,
-    )
-    seg = cluster.alloc_segment(home=1, pages=pattern.n_pages, name="data")
-    proc = cluster.create_process(node=0, name="reader")
-    base = proc.map(seg)
-    if threshold is not None:
-        for page in range(pattern.n_pages):
-            cluster.node(0).replication.watch(1, seg.gpage + page, threshold)
-    page_bytes = cluster.amap.page_bytes
-    latencies = []
-
-    def program(p):
-        for page, offset, is_write in pattern.accesses:
-            vaddr = base + page * page_bytes + offset
-            start = cluster.now
-            if is_write:
-                yield p.store(vaddr, offset)
-            else:
-                yield p.load(vaddr)
-            latencies.append(cluster.now - start)
-            yield p.think(5_000)  # inter-access compute
-
-    cluster.run_programs([cluster.start(proc, program)])
-    replications = (
-        cluster.node(0).replication.replications if threshold is not None else 0
-    )
-    mean_us = sum(latencies) / len(latencies) / 1000.0
-    tail_us = (
-        sum(latencies[-100:]) / len(latencies[-100:]) / 1000.0
-    )
-    return {
-        "mean_us": mean_us,
-        "tail_us": tail_us,
-        "replications": replications,
-        "makespan_us": cluster.now / 1000.0,
-    }
-
-
-def run_policies():
-    hot = hot_page_stream(400, n_pages=4, hot_fraction=0.9, seed=11)
-    # Spread over 16 pages: ~25 accesses per page, below the alarm
-    # threshold — no page is hot enough to be worth replicating.
-    uniform = uniform_stream(400, n_pages=16, seed=11)
-    return {
-        "hot / no replication": run_stream(hot, threshold=None),
-        "hot / alarm@32": run_stream(hot, threshold=32),
-        "uniform / alarm@32": run_stream(uniform, threshold=32),
-    }
+from repro.exp.experiments.s6_replication import SPEC, run
 
 
 def test_s226_alarm_based_replication(once):
-    results = once(run_policies)
-    table = Table(
-        ["policy", "mean access (us)", "last-100 access (us)",
-         "pages replicated", "makespan (us)"],
-        title="S2.2.6 — access counters driving replication "
-              "(400 accesses, 90% on one page)",
-    )
-    for name, r in results.items():
-        table.add_row(name, r["mean_us"], r["tail_us"], r["replications"],
-                      r["makespan_us"])
+    results = once(run, **SPEC.params)
     print()
-    print(table.render())
-    no_repl = results["hot / no replication"]
-    alarm = results["hot / alarm@32"]
-    uniform = results["uniform / alarm@32"]
+    print(SPEC.render(results))
+    no_repl = results["hot_no_replication"]
+    alarm = results["hot_alarm"]
+    uniform = results["uniform_alarm"]
     # The alarm fired exactly for the hot page.
     assert alarm["replications"] == 1
     # Post-replication accesses are local: the tail is far cheaper

@@ -1,106 +1,28 @@
 """[S1] §2.3.2 — "Writes to Locally-Present but Remotely-Owned Pages".
 
-Reproduces both anomalies the section derives, on the same scenario:
-
-Problem 1 (no local apply, "owner-stale"): P writes M=1 and
-immediately reads M — and gets 0, "The processor reads something
-different from what it just wrote."
-
-Problem 2 (local apply without counters, "owner-local"): P writes
-M=2 then M=3; the reflected 2 later overwrites the newer 3, so for a
-window of time P's copy has gone *backwards* (an A-B-A on its own
-copy, during which a read returns 2).
-
-The counter protocol ("telegraphos") passes both.
+The two-anomaly scenario (stale read without local apply; A-B-A
+overwrite with local apply but no counters) lives in
+:mod:`repro.exp.experiments.s1_local_apply`; this harness asserts
+both problems reproduce and that the counter protocol fixes them.
 """
 
-from repro.analysis import Table
-from repro.api import Cluster
 from repro.coherence.checker import contains_aba
-
-
-def stale_read_scenario(protocol):
-    """P writes M=1, reads M immediately; returns the read value."""
-    cluster = Cluster(n_nodes=3, protocol=protocol)
-    seg = cluster.alloc_segment(home=0, pages=1, name="page")
-    writer = cluster.create_process(node=1, name="writer")
-    base = writer.map(seg, mode="replica")
-    other = cluster.create_process(node=2, name="other")
-    other.map(seg, mode="replica")
-    got = {}
-
-    def program(p):
-        yield p.store(base, 1)
-        got["read"] = yield p.load(base)
-
-    cluster.run_programs([cluster.start(writer, program)])
-    return got["read"]
-
-
-def overwrite_scenario(protocol):
-    """P writes 2 then 3; returns P's copy's applied-value sequence
-    and the duration of any stale window (copy value < latest write)."""
-    cluster = Cluster(n_nodes=3, protocol=protocol)
-    seg = cluster.alloc_segment(home=0, pages=1, name="page")
-    writer = cluster.create_process(node=1, name="writer")
-    base = writer.map(seg, mode="replica")
-    other = cluster.create_process(node=2, name="other")
-    other.map(seg, mode="replica")
-
-    def program(p):
-        yield p.store(base, 2)
-        yield p.store(base, 3)
-
-    cluster.run_programs([cluster.start(writer, program)])
-    checker = cluster.checker()
-    key = (0, seg.gpage, 0)
-    seq = checker.applied_values(1, key)
-    # Width of the stale window: time between the stale apply and the
-    # corrective apply, from the trace timestamps.
-    events = [
-        e for e in cluster.tracer.events
-        if e.category == "apply" and e.fields["node"] == 1
-        and e.fields["key"] == key
-        and e.fields["kind"] in ("local", "reflect")
-    ]
-    stale_ns = 0
-    for i, event in enumerate(events[:-1]):
-        if event.value < 3 and any(x.value == 3 for x in events[:i]):
-            stale_ns += events[i + 1].time - event.time
-    return seq, stale_ns
-
-
-def run_all():
-    protocols = ("owner-stale", "owner-local", "telegraphos")
-    return {
-        "stale_read": {p: stale_read_scenario(p) for p in protocols},
-        "overwrite": {p: overwrite_scenario(p) for p in protocols},
-    }
+from repro.exp.experiments.s1_local_apply import SPEC, run
 
 
 def test_s232_local_apply_anomalies(once):
-    results = once(run_all)
-    table = Table(
-        ["protocol", "read after M=1", "copy sequence (wrote 2,3)",
-         "stale window (ns)"],
-        title="S2.3.2 — write-to-remotely-owned-page anomalies",
-    )
-    for protocol in ("owner-stale", "owner-local", "telegraphos"):
-        seq, stale_ns = results["overwrite"][protocol]
-        table.add_row(
-            protocol, results["stale_read"][protocol], str(seq), stale_ns
-        )
+    results = once(run, **SPEC.params)
     print()
-    print(table.render())
+    print(SPEC.render(results))
     # Problem 1: owner-stale reads the OLD value right after writing.
     assert results["stale_read"]["owner-stale"] == 0
     # Problem 2: owner-local's copy goes 2,3,2,3 — backwards in the
     # middle, with a real time window where a read returns 2.
-    seq, stale_ns = results["overwrite"]["owner-local"]
-    assert contains_aba(seq) is not None
-    assert stale_ns > 0
+    over = results["overwrite"]["owner-local"]
+    assert contains_aba(over["sequence"]) is not None
+    assert over["stale_ns"] > 0
     # The counter protocol fixes both.
     assert results["stale_read"]["telegraphos"] == 1
-    seq, stale_ns = results["overwrite"]["telegraphos"]
-    assert seq == [2, 3]
-    assert stale_ns == 0
+    over = results["overwrite"]["telegraphos"]
+    assert over["sequence"] == [2, 3]
+    assert over["stale_ns"] == 0

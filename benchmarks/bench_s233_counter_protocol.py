@@ -1,93 +1,30 @@
 """[S2] §2.3.3 — the counter-based coherence protocol under load.
 
-Many writers, many locations, no synchronization between conflicting
-writes (the hardest case the protocol claims to handle).  Verifies the
-protocol's stated guarantee mechanically — "each node sees a subset of
-the values that the owner sees, and sees them in the proper order" —
-and accounts for the protocol's stated run-time overhead (counter
-read-modify-writes on exactly the operations that produce network
-packets).
+The unsynchronized multi-writer contention run lives in
+:mod:`repro.exp.experiments.s2_counter_protocol`; this harness checks
+the protocol's stated guarantee mechanically and accounts for its
+stated run-time overhead (one counter read-modify-write per operation
+that produces a network packet).
 """
 
-import random
-
-from repro.analysis import Table
-from repro.api import Cluster
-
-
-def run_contention(protocol, n_nodes=4, writes_per_node=12, n_words=4,
-                   seed=7):
-    cluster = Cluster(n_nodes=n_nodes, protocol=protocol)
-    seg = cluster.alloc_segment(home=0, pages=1, name="page")
-    rng = random.Random(seed)
-    contexts = []
-    for node in range(1, n_nodes):
-        proc = cluster.create_process(node=node, name=f"w{node}")
-        base = proc.map(seg, mode="replica")
-        plan = [
-            (4 * rng.randrange(n_words), node * 1000 + i)
-            for i in range(writes_per_node)
-        ]
-
-        def program(p, base=base, plan=plan):
-            for offset, value in plan:
-                yield p.store(base + offset, value)
-                yield p.think(500)
-
-        contexts.append(cluster.start(proc, program))
-    cluster.run_programs(contexts)
-    checker = cluster.checker()
-    stats = {
-        "violations": checker.subsequence_violations(),
-        "divergent": checker.divergent_words(cluster.backends(),
-                                             words_per_page=n_words),
-        "rmw_ops": sum(
-            getattr(e, "counters", None).increments
-            for e in cluster.engines.values()
-            if getattr(e, "counters", None) is not None
-        ) if protocol == "telegraphos" else 0,
-        "updates_sent": sum(
-            e.stats["updates_sent"] for e in cluster.engines.values()
-        ),
-        "updates_ignored": sum(
-            e.stats["updates_ignored"] for e in cluster.engines.values()
-        ),
-        "writes": (n_nodes - 1) * writes_per_node,
-    }
-    return stats
-
-
-def run_protocols():
-    return {
-        protocol: run_contention(protocol)
-        for protocol in ("owner-local", "telegraphos")
-    }
+from repro.exp.experiments.s2_counter_protocol import SPEC, run
 
 
 def test_s233_counter_protocol_correctness_and_overhead(once):
-    results = once(run_protocols)
-    table = Table(
-        ["protocol", "writes", "updates sent", "ignored", "order violations",
-         "divergent"],
-        title="S2.3.3 — unsynchronized multi-writer contention",
-    )
-    for protocol, r in results.items():
-        table.add_row(protocol, r["writes"], r["updates_sent"],
-                      r["updates_ignored"], len(r["violations"]),
-                      len(r["divergent"]))
+    results = once(run, **SPEC.params)
     print()
-    print(table.render())
+    print(SPEC.render(results))
     tele = results["telegraphos"]
     # The §2.3.3 guarantee, checked mechanically.
-    assert not tele["violations"]
-    assert not tele["divergent"]
+    assert tele["order_violations"] == 0
+    assert tele["divergent_words"] == 0
     # Rules 2/3 actually fired (writes ignored), yet convergence held.
     assert tele["updates_ignored"] > 0
     # Overhead accounting: one counter increment per forwarded write
     # ("the mentioned overhead is only paid for those operations that
     # result in a network packet").
-    assert tele["rmw_ops"] == tele["writes"]
+    assert tele["counter_rmws"] == tele["writes"]
     # The naive local-apply protocol violates ordering on this load
     # (it needs at least one reflected-stale overwrite to do so; with
     # this seed it does).
-    assert results["owner-local"]["violations"]
+    assert results["owner-local"]["order_violations"] > 0

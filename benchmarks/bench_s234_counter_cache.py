@@ -1,84 +1,31 @@
 """[S3] §2.3.4 — sizing the cache of counters.
 
-"Its size can be relatively small.  We expect that a cache that holds
-16-32 entries will have enough space to hold all outstanding counters
-for most applications."
-
-Sweeps the CAM size for a bursty writer (many distinct words written
-back-to-back, the worst case for outstanding counters) and reports the
-stall count, stall time, and peak occupancy per size.  The shape to
-reproduce: stalls vanish well before 32 entries, and an unbounded
-counter store (Telegraphos I's fallback) adds nothing beyond that.
+The CAM-size sweep over a bursty writer lives in
+:mod:`repro.exp.experiments.s3_counter_cache`; this harness asserts
+the shape the paper predicts: stalls vanish well before 32 entries,
+and an unbounded counter store adds nothing beyond that.
 """
 
-from repro.analysis import Table
-from repro.api import Cluster
-
-
-def run_with_cache(entries, burst=24, bursts=4):
-    cluster = Cluster(n_nodes=3, protocol="telegraphos",
-                      cache_entries=entries)
-    seg = cluster.alloc_segment(home=0, pages=1, name="page")
-    writer = cluster.create_process(node=1, name="writer")
-    base = writer.map(seg, mode="replica")
-    other = cluster.create_process(node=2, name="other")
-    other.map(seg, mode="replica")
-
-    def program(p):
-        for b in range(bursts):
-            for w in range(burst):
-                yield p.store(base + 4 * w, b * 100 + w)
-            yield p.fence()  # drain between bursts
-
-    start = cluster.now
-    cluster.run_programs([cluster.start(writer, program)])
-    makespan = cluster.now - start
-    cache = cluster.engines[1].counters
-    checker = cluster.checker()
-    return {
-        "stalls": cache.stalls,
-        "stall_ns": cache.stall_ns,
-        "max_used": cache.max_used,
-        "makespan_ns": makespan,
-        "violations": checker.subsequence_violations(),
-        "divergent": checker.divergent_words(cluster.backends(),
-                                             words_per_page=24),
-    }
-
-
-def run_sweep():
-    sizes = [1, 2, 4, 8, 16, 32, None]
-    return {size: run_with_cache(size) for size in sizes}
+from repro.exp.experiments.s3_counter_cache import SPEC, run
 
 
 def test_s234_counter_cache_sizing(once):
-    results = once(run_sweep)
-    table = Table(
-        ["entries", "stalls", "stall time (ns)", "peak in use",
-         "makespan (us)"],
-        title="S2.3.4 — pending-write counter cache sizing "
-              "(24-word write bursts)",
-    )
-    for size, r in results.items():
-        table.add_row(
-            "unbounded" if size is None else size,
-            r["stalls"], r["stall_ns"], r["max_used"],
-            r["makespan_ns"] / 1000.0,
-        )
+    result = once(run, **SPEC.params)
     print()
-    print(table.render())
+    print(SPEC.render(result))
+    by_size = {point["entries"]: point for point in result["sweep"]}
     # Correct at every size (stalling is a performance event, never a
     # correctness event).
-    for size, r in results.items():
-        assert not r["violations"], size
-        assert not r["divergent"], size
+    for size, point in by_size.items():
+        assert point["order_violations"] == 0, size
+        assert point["divergent_words"] == 0, size
     # Tiny caches stall...
-    assert results[1]["stalls"] > 0
-    assert results[1]["makespan_ns"] > results[32]["makespan_ns"]
+    assert by_size[1]["stalls"] > 0
+    assert by_size[1]["makespan_ns"] > by_size[32]["makespan_ns"]
     # ...and the paper's 16-32 entry estimate holds: no stalls at 32,
     # and unbounded is no better.
-    assert results[32]["stalls"] == 0
-    assert results[32]["makespan_ns"] == results[None]["makespan_ns"]
+    assert by_size[32]["stalls"] == 0
+    assert by_size[32]["makespan_ns"] == by_size[None]["makespan_ns"]
     # Peak demand equals the burst's distinct-word count bounded by
     # what the network drains, and stays modest.
-    assert results[None]["max_used"] <= 24
+    assert by_size[None]["max_used"] <= 24

@@ -1,112 +1,25 @@
 """[S4] §2.3.5 — memory consistency and the FENCE / MEMORY_BARRIER.
 
-The paper's scenario: variable ``flag`` resides on one processor,
-``data`` on another; A does write(data); write(flag); B spins on the
-flag and then reads data.  "It is possible that the flag variable is
-written before the data variable is written, because the communication
-path to the processor containing variable flag may be faster" — B then
-reads *stale* data.
-
-We reproduce the fast/slow path asymmetry with congestion: two
-background nodes flood data's home with writes, so A's data write
-crawls through the request plane while A's flag write (to an
-uncongested third node) lands immediately.  B polls the flag (its
-read replies ride the uncongested response plane) and reads the data
-word, which lives in B's own memory.
-
-Without a fence: B observably reads the old value.  With the paper's
-fix — "The write(flag) operation is now substituted by the
-UNLOCK(flag) operation which also contains a FENCE" — the stale read
-is impossible, at the cost of stalling A for the write round trip.
+The congested write(data); write(flag) scenario lives in
+:mod:`repro.exp.experiments.s4_fence`; this harness asserts the
+anomaly the paper warns about (B reads stale data without the fence)
+and the cost/correctness trade of the UNLOCK-with-FENCE fix.
 """
 
-from repro.analysis import Table
-from repro.api import Cluster, Flag
-
-
-def run_scenario(safe: bool):
-    """Returns (value B read, A's elapsed publish time)."""
-    cluster = Cluster(n_nodes=5)
-    # data homed at B (node 1): B reads it locally, A writes it remotely.
-    data = cluster.alloc_segment(home=1, pages=1, name="data")
-    # flag homed at node 2: an uncongested path from A.
-    flags = cluster.alloc_segment(home=2, pages=1, name="flag")
-
-    # Flooders (nodes 3, 4) congest the request path to B.
-    flood_ctxs = []
-    for node in (3, 4):
-        flooder = cluster.create_process(node=node, name=f"flood{node}")
-        fbase = flooder.map(data)
-
-        def flood(p, fbase=fbase):
-            for i in range(120):
-                yield p.store(fbase + 4096 + 4 * (i % 64), i)
-
-        flood_ctxs.append(cluster.start(flooder, flood))
-
-    producer = cluster.create_process(node=0, name="A")
-    data_w = producer.map(data)
-    flag_w = producer.map(flags)
-    a_flag = Flag(producer, flag_w)
-    timings = {}
-
-    def produce(p):
-        yield p.think(30_000)  # let the flood establish its backlog
-        start = cluster.now
-        yield p.store(data_w, 4242)
-        if safe:
-            yield from a_flag.raise_flag()        # FENCE inside
-        else:
-            yield from a_flag.raise_flag_unsafe()  # the paper's bug
-        timings["publish"] = cluster.now - start
-
-    consumer = cluster.create_process(node=1, name="B")
-    data_r = consumer.map(data)   # local: B is the home
-    flag_r = consumer.map(flags)
-    b_flag = Flag(consumer, flag_r)
-    got = {}
-
-    def consume(p):
-        yield from b_flag.await_value(1)
-        got["data"] = yield p.load(data_r)
-
-    ctxs = [
-        cluster.start(producer, produce),
-        cluster.start(consumer, consume),
-    ] + flood_ctxs
-    cluster.run_programs(ctxs)
-    return got["data"], timings["publish"]
-
-
-def run_both():
-    unsafe_value, unsafe_publish = run_scenario(safe=False)
-    safe_value, safe_publish = run_scenario(safe=True)
-    return {
-        "unsafe": (unsafe_value, unsafe_publish),
-        "safe": (safe_value, safe_publish),
-    }
+from repro.exp.experiments.s4_fence import SPEC, run
 
 
 def test_s235_fence_prevents_stale_read(once):
-    results = once(run_both)
-    table = Table(
-        ["variant", "B read (want 4242)", "A publish cost (us)"],
-        title="S2.3.5 — write(data); write(flag) under request-path "
-              "congestion",
-    )
-    table.add_row("no fence (bug)", results["unsafe"][0],
-                  results["unsafe"][1] / 1000.0)
-    table.add_row("UNLOCK w/ FENCE", results["safe"][0],
-                  results["safe"][1] / 1000.0)
+    results = once(run, **SPEC.params)
     print()
-    print(table.render())
+    print(SPEC.render(results))
     # The anomaly: without the fence B reads stale data.
-    assert results["unsafe"][0] == 0, (
+    assert results["unsafe"]["read"] == 0, (
         "expected the stale read the paper warns about"
     )
     # The fix: with the fence the read is always fresh...
-    assert results["safe"][0] == 4242
+    assert results["safe"]["read"] == 4242
     # ...and the cost is real: A stalls for the write's completion
     # ("This approach makes synchronization more expensive, but keeps
     # the cost of remote write operations low").
-    assert results["safe"][1] > 3 * results["unsafe"][1]
+    assert results["safe"]["publish_ns"] > 3 * results["unsafe"]["publish_ns"]

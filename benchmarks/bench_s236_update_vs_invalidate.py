@@ -1,87 +1,20 @@
 """[S8] §2.3.6 — update vs invalidate coherent memory.
 
-"Although the multicast mechanism provided by Telegraphos can decrease
-the read latency of applications that use a producer-consumer style of
-communication, it may not be appropriate for applications that have
-different communication patterns ...  Telegraphos leaves such
-decisions entirely to software."
-
-Two canonical patterns, each under the two policies software can pick:
-
-- **producer/consumer**: consumers replicated + eager updates
-  ("update") vs consumers reading through the remote window
-  ("no-replication", the degenerate invalidate choice);
-- **migratory** (lock-protected data visiting each node): the same
-  two policies.
-
-Expected crossover: update wins producer/consumer (consumer reads
-become local); no-replication wins migratory (update multicasts every
-write to replicas nobody reads, inflating traffic and lock hold
-times).
+The two-workload / two-policy matrix lives in
+:mod:`repro.exp.experiments.s8_update_vs_invalidate`; this harness
+asserts the crossover: update replication wins producer/consumer,
+no-replication wins migratory.
 """
 
-from repro.analysis import Table
-from repro.api import Cluster
-from repro.workloads import run_migratory, run_producer_consumer
-
-
-def run_pc(mode):
-    protocol = "telegraphos" if mode == "replica" else "none"
-    cluster = Cluster(n_nodes=3, protocol=protocol)
-    result = run_producer_consumer(
-        cluster, producer_node=0, consumer_nodes=[1, 2],
-        batches=4, words_per_batch=16, sharing=mode,
-    )
-    updates = sum(e.stats["updates_sent"] for e in cluster.engines.values())
-    return {
-        "read_us": result.consumer_read_ns.mean / 1000.0,
-        "makespan_us": result.makespan_ns / 1000.0,
-        "updates": updates,
-    }
-
-
-def run_mig(mode):
-    protocol = "telegraphos" if mode == "replica" else "none"
-    cluster = Cluster(n_nodes=3, protocol=protocol)
-    result = run_migratory(
-        cluster, rounds_per_node=3, words=8, sharing=mode,
-    )
-    assert result.final_sum == result.expected_sum, "lost updates!"
-    return {
-        "makespan_us": result.makespan_ns / 1000.0,
-        "updates": result.total_updates_sent,
-    }
-
-
-def run_matrix():
-    return {
-        "pc": {mode: run_pc(mode) for mode in ("replica", "remote")},
-        "mig": {mode: run_mig(mode) for mode in ("replica", "remote")},
-    }
+from repro.exp.experiments.s8_update_vs_invalidate import SPEC, run
 
 
 def test_s236_update_vs_invalidate_crossover(once):
-    results = once(run_matrix)
-    table = Table(
-        ["workload", "policy", "consumer read (us)", "makespan (us)",
-         "update packets"],
-        title="S2.3.6 — the same workloads under update vs "
-              "no-replication policies",
-    )
-    pc = results["pc"]
-    mig = results["mig"]
-    table.add_row("producer/consumer", "update (replicas)",
-                  pc["replica"]["read_us"], pc["replica"]["makespan_us"],
-                  pc["replica"]["updates"])
-    table.add_row("producer/consumer", "no replication",
-                  pc["remote"]["read_us"], pc["remote"]["makespan_us"],
-                  pc["remote"]["updates"])
-    table.add_row("migratory", "update (replicas)", "-",
-                  mig["replica"]["makespan_us"], mig["replica"]["updates"])
-    table.add_row("migratory", "no replication", "-",
-                  mig["remote"]["makespan_us"], mig["remote"]["updates"])
+    results = once(run, **SPEC.params)
     print()
-    print(table.render())
+    print(SPEC.render(results))
+    pc = results["producer_consumer"]
+    mig = results["migratory"]
     # Producer/consumer: update replication slashes consumer read
     # latency (local reads vs 7 µs remote reads).
     assert pc["replica"]["read_us"] < pc["remote"]["read_us"] / 2

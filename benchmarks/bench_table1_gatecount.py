@@ -1,41 +1,26 @@
 """[T1] Table 1 — gate count of the Telegraphos I HIB.
 
-Regenerates the hardware-cost inventory from the parametric model and
-checks it against the paper's numbers, including the headline: shared
-memory support costs only 2700 gates of random logic.
+The measurement lives in :mod:`repro.exp.experiments.t1_gatecount`
+(the declarative spec behind ``repro sweep``); this harness asserts
+the claim's shape: every row of the parametric model matches the
+paper's inventory, including the headline that shared memory support
+costs only 2700 gates of random logic.
 """
 
-from repro.hib import GateCountModel
-
-
-PAPER_TABLE1 = {
-    "Central control": (1000, 0.5),
-    "Turbochannel interface": (550, 0.0),
-    "Incoming link intf.": (1000, 2.0),
-    "Outgoing link intf.": (750, 2.0),
-    "Atomic operations": (1500, 0.0),
-    "Multicast (eager sharing)": (400, 512.0),
-    "Page Access Counters": (800, 2048.0),
-    "Multiproc. Mem. (MPM)": (0, 0.0),
-}
-
-
-def build_and_render():
-    model = GateCountModel()
-    return model, model.render()
+from repro.exp.experiments.t1_gatecount import PAPER_TABLE1, SPEC, run
 
 
 def test_table1_gate_count(once):
-    model, rendering = once(build_and_render)
+    result = once(run)
     print()
-    print("Table 1: Gate Count for Telegraphos I HIB")
-    print(rendering)
-    for block in model.blocks():
-        paper_gates, paper_kbits = PAPER_TABLE1[block.name]
-        assert block.gates == paper_gates, block.name
-        assert block.sram_kbits == paper_kbits, block.name
-    assert model.subtotal("message") == (3300, 4.5)
-    assert model.shared_memory_gates == 2700
+    print(SPEC.render(result))
+    for block in result["blocks"]:
+        paper_gates, paper_kbits, _ = PAPER_TABLE1[block["name"]]
+        assert block["gates"] == paper_gates, block["name"]
+        assert block["sram_kbits"] == paper_kbits, block["name"]
+    message = result["subtotals"]["message"]
+    assert (message["gates"], message["sram_kbits"]) == (3300, 4.5)
+    assert result["shared_memory_gates"] == 2700
     # The paper prints the shared-memory SRAM subtotal as ~2500 Kbits
     # (512 + 2048 rounded); the exact sum is 2560.
-    assert model.subtotal("shared")[1] == 2560.0
+    assert result["subtotals"]["shared"]["sram_kbits"] == 2560.0

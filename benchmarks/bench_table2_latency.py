@@ -1,68 +1,25 @@
 """[T2] §3.2 latency table — remote read 7.2 µs, remote write 0.70 µs.
 
-Reproduces the paper's measurement verbatim: "We started one
-application on one workstation that makes remote memory accesses to
-the other workstation's HIB ... we measured the latency of remote read
-and write operations by performing 10000 operations."
-
-Two DEC 3000/300 stand-ins on one switch; 10000 operations each;
-elapsed time divided by count.
+The measurement lives in :mod:`repro.exp.experiments.t2_latency` (the
+paper's 10000-operation elapsed/count methodology, verbatim); this
+harness asserts the calibration landed and the structural claim holds.
 """
 
-from repro.analysis import comparison_table, measure_op_stream, us
-from repro.api import Cluster
-
-PAPER_WRITE_US = 0.70
-PAPER_READ_US = 7.2
-#: Calibration tolerance: the three §3.2 numbers were used to fit
-#: three internal latencies, so they must land close.
-TOLERANCE = 0.10
-
-OPS = 10_000
-
-
-def two_node_setup():
-    cluster = Cluster(n_nodes=2, trace=False)
-    segment = cluster.alloc_segment(home=1, pages=2, name="bench")
-    proc = cluster.create_process(node=0, name="bench")
-    base = proc.map(segment)
-    return cluster, proc, base
-
-
-def measure_write_us():
-    cluster, proc, base = two_node_setup()
-    per_op = measure_op_stream(
-        cluster, proc, lambda i: proc.store(base + 4 * (i % 1024), i), count=OPS
-    )
-    return us(per_op)
-
-
-def measure_read_us():
-    cluster, proc, base = two_node_setup()
-    per_op = measure_op_stream(
-        cluster, proc, lambda i: proc.load(base + 4 * (i % 1024)), count=OPS,
-        fence_at_end=False,
-    )
-    return us(per_op)
-
-
-def run_table2():
-    return {"write": measure_write_us(), "read": measure_read_us()}
+from repro.exp.experiments.t2_latency import (
+    PAPER_READ_US,
+    PAPER_WRITE_US,
+    SPEC,
+    TOLERANCE,
+    run,
+)
 
 
 def test_table2_remote_operation_latency(once):
-    results = once(run_table2)
-    table = comparison_table(
-        "S3.2 — Remote operation latency (elapsed us over 10000 ops)",
-        [
-            ("Remote Read", PAPER_READ_US, results["read"]),
-            ("Remote Write", PAPER_WRITE_US, results["write"]),
-        ],
-    )
+    results = once(run, **SPEC.params)
     print()
-    print(table.render())
-    assert abs(results["write"] - PAPER_WRITE_US) / PAPER_WRITE_US < TOLERANCE
-    assert abs(results["read"] - PAPER_READ_US) / PAPER_READ_US < TOLERANCE
+    print(SPEC.render(results))
+    assert abs(results["write_us"] - PAPER_WRITE_US) / PAPER_WRITE_US < TOLERANCE
+    assert abs(results["read_us"] - PAPER_READ_US) / PAPER_READ_US < TOLERANCE
     # The structural claim: reads cost roughly an order of magnitude
     # more than writes because they block for the full round trip.
-    assert results["read"] > 5 * results["write"]
+    assert results["read_us"] > 5 * results["write_us"]

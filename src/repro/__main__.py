@@ -1,5 +1,5 @@
 """Command-line entry points:
-``python -m repro [check|stats|trace|bench-perf]``.
+``python -m repro [check|stats|trace|bench-perf|sweep]``.
 
 - ``check`` (default) — thirty-second installation self-check: builds
   a small cluster, exercises every §2.2 primitive, measures the §3.2
@@ -12,6 +12,9 @@
 - ``bench-perf`` — the simulator performance suite
   (:mod:`benchmarks.perf`): events/sec on three workloads, compared
   against the committed baseline, written to ``BENCH_PERF.json``.
+- ``sweep`` — the full reproduction (:mod:`repro.exp`): every
+  registered experiment across a worker pool, one machine-readable
+  ``results/<id>.json`` each, EXPERIMENTS.md regenerated from them.
 
 ``--profile`` wraps any command in :mod:`cProfile` and prints the top
 twenty entries by cumulative time.
@@ -208,7 +211,65 @@ def cmd_bench_perf(args) -> int:
     return harness.main(forwarded)
 
 
-def main(argv=None) -> int:
+def cmd_sweep(args) -> int:
+    from repro.analysis.report import render_experiments_md
+    from repro.exp import ResultCache, default_registry, run_sweep, select
+
+    specs = default_registry()
+    if args.only:
+        wanted = [part for chunk in args.only for part in chunk.split(",")]
+        try:
+            specs = select(specs, wanted)
+        except KeyError as exc:
+            print(f"sweep: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    cache = ResultCache(args.results_dir)
+
+    if args.list:
+        from repro.analysis.tables import MarkdownTable
+
+        table = MarkdownTable(
+            ["id", "title", "provenance", "cost", "cached"])
+        for spec in specs:
+            table.add_row(spec.exp_id, spec.title, spec.provenance,
+                          spec.cost,
+                          "yes" if cache.lookup(spec) else "no")
+        print(table.render())
+        return 0
+
+    if not args.render_only:
+        outcome = run_sweep(
+            specs, workers=args.workers, cache=cache, force=args.force,
+            retries=args.retries, progress=print,
+        )
+        print(f"sweep: {len(outcome.ran)} ran, {len(outcome.cached)} cached, "
+              f"{len(outcome.failures)} failed "
+              f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+        for failure in outcome.failures:
+            print(f"  FAILED {failure.experiment} "
+                  f"(shard {failure.shard}, {failure.attempts} attempts)",
+                  file=sys.stderr)
+            print("    " + failure.error.strip().replace("\n", "\n    "),
+                  file=sys.stderr)
+        if not outcome.ok:
+            return 1
+
+    # Regenerating the document needs every experiment's results on
+    # disk, not just the selected subset — the committed cache provides
+    # the rest, or we report which ids are missing.
+    try:
+        document = render_experiments_md(results_dir=args.results_dir)
+    except Exception as exc:
+        print(f"sweep: cannot render {args.out}: {exc}", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"wrote {args.out} from {args.results_dir}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Telegraphos reproduction command line",
@@ -264,6 +325,39 @@ def main(argv=None) -> int:
                          help="exit non-zero on >25%% events/sec "
                               "regression vs the committed baseline")
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run every registered experiment and regenerate "
+             "EXPERIMENTS.md from results/*.json",
+    )
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="parallel worker processes (default: 1)")
+    p_sweep.add_argument("--only", action="append", default=[],
+                         metavar="IDS",
+                         help="run only these experiment ids "
+                              "(comma-separated, repeatable)")
+    p_sweep.add_argument("--force", action="store_true",
+                         help="recompute even when the cached result "
+                              "matches the spec version")
+    p_sweep.add_argument("--retries", type=int, default=1,
+                         help="retry budget per crashed/failed "
+                              "experiment (default: 1)")
+    p_sweep.add_argument("--results-dir", default="results",
+                         help="results cache directory (default: results)")
+    p_sweep.add_argument("--out", default="EXPERIMENTS.md",
+                         help="rendered document path "
+                              "(default: EXPERIMENTS.md)")
+    p_sweep.add_argument("--render-only", action="store_true",
+                         help="skip the sweep; just regenerate the "
+                              "document from the on-disk results")
+    p_sweep.add_argument("--list", action="store_true",
+                         help="list registered experiments and their "
+                              "cache status, then exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     def dispatch() -> int:
@@ -273,6 +367,8 @@ def main(argv=None) -> int:
             return cmd_trace(args)
         if args.command == "bench-perf":
             return cmd_bench_perf(args)
+        if args.command == "sweep":
+            return cmd_sweep(args)
         return self_check()
 
     if not args.profile:

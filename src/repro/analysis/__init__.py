@@ -14,15 +14,19 @@ from repro.analysis.measure import (
     run_to_completion,
     us,
 )
-from repro.analysis.report import ClusterReport
-from repro.analysis.tables import Table, comparison_table
+from repro.analysis.report import ClusterReport, render_experiments_md
+from repro.analysis.tables import MarkdownTable, Table, comparison_table, fmt_cell
 
 __all__ = [
     "ClusterReport",
+    "MarkdownTable",
     "Table",
     "comparison_table",
+    "fmt_cell",
+    "render_experiments_md",
     "measure_op_stream",
     "measure_single_ops",
     "run_to_completion",
     "us",
 ]
+

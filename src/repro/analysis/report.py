@@ -9,9 +9,9 @@ user needs to understand an experiment.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.analysis.tables import Table
+from repro.analysis.tables import MarkdownTable, Table
 
 
 class ClusterReport:
@@ -148,3 +148,145 @@ class ClusterReport:
         )
         body = "\n\n".join(section.render() for section in self.sections())
         return f"{header}\n\n{body}"
+
+
+# ---------------------------------------------------------------------------
+# EXPERIMENTS.md generation.
+#
+# The document is a pure function of the committed ``results/*.json``
+# (the numbers) and the experiment registry (section order, renderers,
+# provenance vocabulary).  ``repro sweep`` calls this after every run;
+# the CI docs-drift job calls it with ``--render-only`` and fails on
+# ``git diff``, so the published tables can never silently diverge
+# from the machine-readable results.
+# ---------------------------------------------------------------------------
+
+
+class ResultsError(RuntimeError):
+    """A results document is missing or stale relative to its spec."""
+
+
+_EXPERIMENTS_HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerated by `python -m repro sweep` from the machine-readable
+     results under `results/` (docs-drift is CI-gated). -->
+
+Every table, figure, and quantified in-text claim of the paper's
+evaluation, reproduced from one machine-readable `results/<id>.json`
+per experiment (emitted by `repro sweep`, specs in
+`src/repro/exp/experiments/`).  Absolute times come from a calibrated
+behavioural simulator (see "Calibration" in DESIGN.md); **shape
+claims** (who wins, by what factor, where crossovers fall) are
+asserted by the benchmark harness (`pytest benchmarks/
+--benchmark-only -s`), so a green bench run *is* the reproduction.
+
+All numbers are deterministic: every experiment is a pure function of
+its spec, so `repro sweep --workers N` regenerates byte-identical
+results and this byte-identical document for any N.
+"""
+
+#: How each provenance class reads under a section (and in the summary
+#: table at the bottom).  Keys match ``repro.exp.spec.PROVENANCES``.
+PROVENANCE_NOTES = {
+    "fit": "fit-by-construction — this number was used to calibrate "
+           "the simulator, so the match is asserted, not discovered",
+    "emergent": "emergent — no calibration targets these numbers; "
+                "they fall out of the fitted model",
+    "model": "parametric model — recomputed from the paper's own cost "
+             "inventory, not timed",
+}
+
+#: Caveats that belong to the testbed as a whole rather than any one
+#: table (the per-table ones live on the specs and render inline).
+GLOBAL_CAVEATS = [
+    "The testbed is a calibrated simulator: three §3.2 numbers (T2's "
+    "two latencies and C1's sustained write rate) were used to fit "
+    "three internal latencies (TC synchronizer, HIB decode depth, "
+    "blocked-read completion); everything else is emergent.",
+    "The network model adds two behaviours the paper only references "
+    "via its switch papers [16, 17]: a shared-buffer switch (no "
+    "head-of-line blocking) and request/response virtual networks.  "
+    "Both are needed for S4's path-speed asymmetry to be physically "
+    "possible.",
+]
+
+
+def load_result_document(results_dir: str, spec) -> Dict[str, Any]:
+    """Load and validate ``results/<id>.json`` for one spec.
+
+    Raises :class:`ResultsError` when the file is missing or was
+    computed under a different cache key (stale relative to the spec's
+    current params/version) — the docs-drift failure mode.
+    """
+    from repro.exp.cache import ResultCache
+
+    document = ResultCache(results_dir).load_document(spec.exp_id)
+    if document is None:
+        raise ResultsError(
+            f"{spec.exp_id}: no results document in {results_dir!r}; "
+            f"run `python -m repro sweep`"
+        )
+    if document.get("cache_key") != spec.cache_key():
+        raise ResultsError(
+            f"{spec.exp_id}: results document is stale (cache key "
+            f"{document.get('cache_key')!r} != spec {spec.cache_key()!r}); "
+            f"run `python -m repro sweep`"
+        )
+    return document
+
+
+def render_experiment_section(spec, document: Dict[str, Any]) -> str:
+    """One ``## <id> — <title>`` section: source pointers, the rendered
+    result, and the inline provenance caveat."""
+    lines = [
+        f"## {spec.exp_id} — {spec.title}",
+        f"`{spec.bench}` → [`results/{spec.exp_id}.json`]"
+        f"(results/{spec.exp_id}.json)",
+        "",
+        spec.render(document["result"]).rstrip(),
+        "",
+        f"> **Provenance:** {PROVENANCE_NOTES[spec.provenance]}."
+        + (f"  {spec.caveat}" if spec.caveat else ""),
+    ]
+    return "\n".join(lines)
+
+
+def render_caveats_section(specs: Sequence[Any]) -> str:
+    """The closing "Reproduction caveats" section: the per-table
+    provenance summary plus the global testbed notes."""
+    table = MarkdownTable(["experiment", "provenance"])
+    for spec in specs:
+        label = PROVENANCE_NOTES[spec.provenance].split(" — ")[0]
+        table.add_row(spec.exp_id, label)
+    lines = [
+        "### Reproduction caveats",
+        "",
+        "Which numbers are fit-by-construction and which are emergent,",
+        "per table (each section carries the same note inline):",
+        "",
+        table.render(),
+        "",
+    ]
+    lines.extend(f"- {caveat}" for caveat in GLOBAL_CAVEATS)
+    return "\n".join(lines)
+
+
+def render_experiments_md(
+    results_dir: str = "results",
+    specs: Optional[Sequence[Any]] = None,
+) -> str:
+    """The full EXPERIMENTS.md text, from the committed results."""
+    if specs is None:
+        from repro.exp.registry import default_registry
+
+        specs = default_registry()
+    parts = [_EXPERIMENTS_HEADER, "---"]
+    parts.extend(
+        render_experiment_section(spec, load_result_document(results_dir, spec))
+        for spec in specs
+    )
+    parts.append("---")
+    parts.append(render_caveats_section(specs))
+    return "\n\n".join(parts) + "\n"

@@ -1,4 +1,5 @@
-"""Plain-text tables for the benchmark harness."""
+"""Plain-text and markdown tables for the benchmark harness and the
+EXPERIMENTS.md generator."""
 
 from __future__ import annotations
 
@@ -41,6 +42,37 @@ class Table:
         return self.render()
 
 
+class MarkdownTable:
+    """A GitHub pipe table with the same cell formatting as
+    :class:`Table`.
+
+    The column set and order are fixed by ``headers`` at construction
+    and every row is arity-checked against them, so a rendered table's
+    column ordering is stable by construction — the property the
+    EXPERIMENTS.md generator (and its round-trip tests) rely on.
+    """
+
+    def __init__(self, headers: Sequence[str]):
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        lines = ["| " + " | ".join(self.headers) + " |"]
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        lines.extend("| " + " | ".join(row) + " |" for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
 def _fmt(cell) -> str:
     if isinstance(cell, float):
         if cell == 0:
@@ -51,6 +83,11 @@ def _fmt(cell) -> str:
             return f"{cell:.2f}"
         return f"{cell:.3f}"
     return str(cell)
+
+
+#: Public alias: the one scalar-to-text formatting used by every table
+#: (and by prose interpolation in the EXPERIMENTS.md renderers).
+fmt_cell = _fmt
 
 
 def comparison_table(

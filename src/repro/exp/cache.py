@@ -1,0 +1,67 @@
+"""The on-disk result cache.
+
+The cache *is* the ``results/`` directory: one committed
+``results/<exp_id>.json`` per experiment, each carrying the
+:meth:`~repro.exp.spec.ExperimentSpec.cache_key` it was computed
+under.  A lookup hits only when the stored key equals the spec's
+current key, so bumping a spec's ``version`` (or changing its params)
+transparently invalidates the stale entry and the next sweep recomputes
+it.  A fully warm sweep therefore does no simulation at all — it
+validates keys and re-renders EXPERIMENTS.md, which is why the files
+are committed: a fresh checkout starts warm, and CI can regenerate the
+document without running a single experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.exp.spec import ExperimentSpec, canonical_json_bytes
+
+#: Default location of the committed results, relative to the
+#: repository root / current working directory.
+DEFAULT_RESULTS_DIR = "results"
+
+
+class ResultCache:
+    """Directory of result documents addressed by experiment id,
+    validated by cache key."""
+
+    def __init__(self, results_dir: str = DEFAULT_RESULTS_DIR):
+        self.results_dir = results_dir
+
+    def path(self, exp_id: str) -> str:
+        return os.path.join(self.results_dir, f"{exp_id}.json")
+
+    def load_document(self, exp_id: str) -> Optional[Dict[str, Any]]:
+        """The raw stored document, or ``None`` when absent/corrupt."""
+        try:
+            with open(self.path(exp_id), "r", encoding="utf-8") as fh:
+                document = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    def lookup(self, spec: ExperimentSpec) -> Optional[Dict[str, Any]]:
+        """The stored document iff it matches the spec's current key."""
+        document = self.load_document(spec.exp_id)
+        if document is None or document.get("cache_key") != spec.cache_key():
+            return None
+        return document
+
+    def store(self, spec: ExperimentSpec, result: Dict[str, Any]) -> Dict[str, Any]:
+        """Write ``results/<exp_id>.json`` for a freshly-run result.
+
+        The write goes through :func:`canonical_json_bytes`, so the
+        file's bytes are a pure function of the document — the
+        serial-vs-parallel byte-identity contract.
+        """
+        document = spec.document(result)
+        os.makedirs(self.results_dir, exist_ok=True)
+        tmp_path = self.path(spec.exp_id) + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            fh.write(canonical_json_bytes(document))
+        os.replace(tmp_path, self.path(spec.exp_id))
+        return document

@@ -1,0 +1,122 @@
+"""[A3] Ablation — data alignment and false sharing (the [22] study).
+
+§2.2.6 cites the authors' trace-driven companion paper on
+"Data-Alignment and Other Factors affecting Update and Invalidate
+Based Coherent Memory".  The decisive factor there is **granularity**:
+software DSM is *page*-granular (false sharing ping-pongs ownership of
+the whole page), Telegraphos updates are *word*-granular (the same
+access pattern produces only independent single-word updates).
+
+Three traces (false sharing / true sharing / page-aligned private
+data) run under Telegraphos replicas and under VSM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.analysis.tables import MarkdownTable
+from repro.exp.spec import ExperimentSpec
+
+NODES = [1, 2]
+TRACES = ("false_sharing", "true_sharing", "private_pages")
+TRACE_LABELS = {
+    "false_sharing": "false sharing (distinct words, one page)",
+    "true_sharing": "true sharing (same words)",
+    "private_pages": "page-aligned private data",
+}
+
+
+def _traces(refs: int, think_ns: int):
+    from repro.workloads import (
+        false_sharing_trace,
+        private_pages_trace,
+        true_sharing_trace,
+    )
+
+    return {
+        "false_sharing": false_sharing_trace(NODES, refs, think_ns=think_ns),
+        "true_sharing": true_sharing_trace(NODES, refs, think_ns=think_ns),
+        "private_pages": private_pages_trace(NODES, refs, think_ns=think_ns),
+    }
+
+
+def _run_case(mode: str, protocol: str, trace) -> Dict[str, Any]:
+    from repro.api import Cluster, ClusterConfig
+    from repro.workloads import TracePlayer
+
+    cluster = Cluster(ClusterConfig(n_nodes=3, protocol=protocol))
+    seg = cluster.alloc_segment(home=0, pages=max(1, trace.n_pages),
+                                name="study")
+    player = TracePlayer(cluster, seg, mode=mode)
+    result = player.run(trace)
+    faults = 0
+    if player._vsm is not None:
+        faults = player._vsm.read_faults + player._vsm.write_faults
+    # Coherence sanity for the hardware runs.
+    if mode == "replica":
+        checker = cluster.checker()
+        assert not checker.subsequence_violations()
+    return {
+        "mean_us": result.mean_latency_ns / 1000.0,
+        "faults": faults,
+    }
+
+
+def run(refs: int = 12, think_ns: int = 800_000) -> Dict[str, Any]:
+    # Inter-access compute spacing beyond the ~0.5 ms VSM fault cost,
+    # so each sharing transition completes before the next reference
+    # (the "interact rather infrequently" regime §2.1 says VSM needs).
+    out = {}
+    for name, trace in _traces(refs, think_ns).items():
+        out[name] = {
+            "telegraphos": _run_case("replica", "telegraphos", trace),
+            "vsm": _run_case("vsm", "none", trace),
+        }
+    return out
+
+
+def render(result: Dict[str, Any]) -> str:
+    table = MarkdownTable([
+        "trace", "Telegraphos mean access", "VSM mean access",
+        "VSM page transitions",
+    ])
+    notes = {"false_sharing": " (ping-pong)", "true_sharing": "",
+             "private_pages": " (once per page)"}
+    for name in TRACES:
+        row = result[name]
+        vsm_cell = f"{row['vsm']['mean_us']:.0f} µs"
+        if name == "false_sharing":
+            vsm_cell = f"**{vsm_cell}**"
+        table.add_row(
+            TRACE_LABELS[name],
+            f"{row['telegraphos']['mean_us']:.1f} µs",
+            vsm_cell,
+            f"{row['vsm']['faults']}{notes[name]}",
+        )
+    fs = result["false_sharing"]
+    private = result["private_pages"]
+    transitions_ratio = fs["vsm"]["faults"] / private["vsm"]["faults"]
+    return (
+        f"{table.render()}\n\n"
+        "Alignment makes or breaks the software DSM (its false-sharing "
+        f"cost is\n~{transitions_ratio:.0f}× its fault-once-per-page "
+        "cost in transitions) while Telegraphos is\ninsensitive to it — "
+        "the conclusion of the authors' trace-driven study\nthat "
+        "motivated the word-granular update hardware."
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="A3",
+    title="Data alignment / false sharing (the [22] companion study)",
+    bench="benchmarks/bench_ablation_false_sharing.py",
+    run=run,
+    render=render,
+    provenance="emergent",
+    caveat="Identical reference streams under word-granular "
+           "Telegraphos replicas vs page-granular VSM.",
+    version=1,
+    params={"refs": 12, "think_ns": 800_000},
+    cost=0.1,
+)

@@ -1,0 +1,38 @@
+"""The experiment registry: lookup, selection, and validation over
+the declarative specs in :mod:`repro.exp.experiments`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.exp.spec import ExperimentSpec
+
+
+def default_registry() -> List[ExperimentSpec]:
+    """Every registered spec, in EXPERIMENTS.md document order."""
+    from repro.exp.experiments import SPECS
+
+    ids = [spec.exp_id for spec in SPECS]
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"duplicate experiment ids in registry: {ids}")
+    return list(SPECS)
+
+
+def spec_map(specs: Sequence[ExperimentSpec]) -> Dict[str, ExperimentSpec]:
+    return {spec.exp_id: spec for spec in specs}
+
+
+def select(
+    specs: Sequence[ExperimentSpec], only: Iterable[str]
+) -> List[ExperimentSpec]:
+    """Subset ``specs`` to the requested ids (case-insensitive),
+    keeping registry order; unknown ids raise with the known ones."""
+    wanted = {exp_id.strip().upper() for exp_id in only if exp_id.strip()}
+    known = {spec.exp_id.upper() for spec in specs}
+    unknown = sorted(wanted - known)
+    if unknown:
+        raise KeyError(
+            f"unknown experiment ids {unknown}; known: "
+            f"{sorted(spec.exp_id for spec in specs)}"
+        )
+    return [spec for spec in specs if spec.exp_id.upper() in wanted]

@@ -1,0 +1,118 @@
+"""Declarative experiment specifications.
+
+One :class:`ExperimentSpec` per paper table / figure / quantified
+claim.  A spec is *data about a pure function*: the measurement
+callable (a port of the corresponding ``benchmarks/bench_*.py`` run
+function), the parameters it is called with, a version stamp that must
+be bumped whenever the measurement code changes meaning, and the
+renderer that turns the machine-readable result into its EXPERIMENTS.md
+section.
+
+The spec's :meth:`~ExperimentSpec.cache_key` is a stable BLAKE2b hash
+of ``(experiment id, params, spec version, schema version)`` — the
+"(config, code-relevant params version)" key the on-disk result cache
+is addressed by.  It deliberately does **not** hash wall-clock, host,
+or process identity: the same spec always produces the same key, so a
+result computed by any worker on any machine is interchangeable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping
+
+#: Version of the results-document envelope written to ``results/*.json``.
+#: Bump when the envelope layout (not an individual experiment) changes;
+#: it participates in every cache key, so bumping it invalidates all
+#: cached results at once.
+SCHEMA_VERSION = 1
+
+#: Provenance vocabulary for the "Reproduction caveats" machinery:
+#: ``fit`` — the number was used to calibrate the simulator, so the
+#: match is by construction; ``emergent`` — the number falls out of the
+#: calibrated model; ``model`` — a parametric (non-timing) model such as
+#: the gate-count inventory.
+PROVENANCES = ("fit", "emergent", "model")
+
+
+def canonical_json_bytes(document: Mapping[str, Any]) -> bytes:
+    """The one serialization used for cache keys and results files.
+
+    ``sort_keys`` pins dict ordering, ``indent=2`` keeps the committed
+    files diffable, and the trailing newline keeps POSIX tools quiet.
+    Byte-identical output for equal documents is the determinism
+    contract (serial vs ``--workers N``) — nothing time- or
+    host-dependent may enter a document.
+    """
+    return (
+        json.dumps(document, indent=2, sort_keys=True, ensure_ascii=False)
+        + "\n"
+    ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper claim as a pure, cacheable, renderable computation."""
+
+    #: Short stable identifier; names the section and the results file
+    #: (``results/<exp_id>.json``).
+    exp_id: str
+    #: Section heading in EXPERIMENTS.md.
+    title: str
+    #: The pytest harness that asserts this claim's shape.
+    bench: str
+    #: The measurement: called as ``run(**params)``, must return a
+    #: JSON-serializable dict and be a pure function of its arguments.
+    run: Callable[..., Dict[str, Any]]
+    #: Renders the result dict into the markdown section body.
+    render: Callable[[Dict[str, Any]], str]
+    #: ``fit`` | ``emergent`` | ``model`` (see :data:`PROVENANCES`).
+    provenance: str = "emergent"
+    #: One-line per-table reproduction caveat emitted under the section.
+    caveat: str = ""
+    #: Bump whenever the measurement code or its calibration changes —
+    #: this is what invalidates the on-disk cache.
+    version: int = 1
+    #: Parameters passed to ``run`` (part of the cache key).
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Static wall-clock weight (seconds-ish) used only for
+    #: deterministic longest-processing-time shard assignment.
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.provenance not in PROVENANCES:
+            raise ValueError(
+                f"{self.exp_id}: provenance {self.provenance!r} not in "
+                f"{PROVENANCES}"
+            )
+
+    def cache_key(self) -> str:
+        material = {
+            "experiment": self.exp_id,
+            "params": self.params,
+            "schema": SCHEMA_VERSION,
+            "spec_version": self.version,
+        }
+        return hashlib.blake2b(
+            canonical_json_bytes(material), digest_size=16
+        ).hexdigest()
+
+    def execute(self) -> Dict[str, Any]:
+        """Run the measurement and wrap it in the results envelope."""
+        return self.document(self.run(**self.params))
+
+    def document(self, result: Dict[str, Any]) -> Dict[str, Any]:
+        """The envelope written to ``results/<exp_id>.json``."""
+        return {
+            "bench": self.bench,
+            "cache_key": self.cache_key(),
+            "experiment": self.exp_id,
+            "params": self.params,
+            "provenance": self.provenance,
+            "result": result,
+            "schema": SCHEMA_VERSION,
+            "spec_version": self.version,
+            "title": self.title,
+        }

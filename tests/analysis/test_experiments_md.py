@@ -1,0 +1,84 @@
+"""The EXPERIMENTS.md generator: markdown table invariants, the
+JSON → markdown round trip, and a golden-rendered section."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import (
+    ResultsError,
+    load_result_document,
+    render_caveats_section,
+    render_experiment_section,
+    render_experiments_md,
+)
+from repro.analysis.tables import MarkdownTable
+from repro.exp import default_registry, spec_map
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RESULTS_DIR = str(REPO_ROOT / "results")
+
+
+def test_markdown_table_renders_github_pipe_format():
+    table = MarkdownTable(["name", "value"])
+    table.add_row("alpha", 1.25)
+    table.add_row("beta", "-")
+    lines = table.render().splitlines()
+    assert lines[0] == "| name | value |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| alpha | 1.25 |"
+    assert lines[3] == "| beta | - |"
+
+
+def test_markdown_table_column_order_is_fixed_at_construction():
+    table = MarkdownTable(["b", "a"])
+    table.add_row(2, 1)
+    # Columns render in construction order, never sorted.
+    assert table.render().splitlines()[0] == "| b | a |"
+    with pytest.raises(ValueError):
+        table.add_row(1)  # arity-checked against the header
+
+
+def test_json_to_markdown_round_trip(tmp_path):
+    """A results document written to disk and read back renders the
+    same section as the in-memory document."""
+    spec = spec_map(default_registry())["T1"]
+    document = load_result_document(RESULTS_DIR, spec)
+    copy = json.loads(json.dumps(document))
+    assert render_experiment_section(spec, copy) \
+        == render_experiment_section(spec, document)
+
+
+def test_golden_t1_section():
+    spec = spec_map(default_registry())["T1"]
+    document = load_result_document(RESULTS_DIR, spec)
+    golden = (REPO_ROOT / "tests" / "fixtures" /
+              "golden_t1_section.md").read_text(encoding="utf-8")
+    assert render_experiment_section(spec, document) + "\n" == golden
+
+
+def test_render_experiments_md_matches_committed_document():
+    """The docs-drift gate, locally: regenerating from the committed
+    results JSONs must reproduce the committed EXPERIMENTS.md byte for
+    byte."""
+    rendered = render_experiments_md(results_dir=RESULTS_DIR)
+    committed = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    assert rendered == committed, (
+        "EXPERIMENTS.md has drifted from results/*.json — run "
+        "`python -m repro sweep` and commit both"
+    )
+
+
+def test_missing_results_raise_with_remediation(tmp_path):
+    spec = spec_map(default_registry())["T1"]
+    with pytest.raises(ResultsError, match="sweep"):
+        load_result_document(str(tmp_path), spec)
+
+
+def test_caveats_section_covers_every_experiment():
+    specs = default_registry()
+    section = render_caveats_section(specs)
+    assert "Reproduction caveats" in section
+    for spec in specs:
+        assert spec.exp_id in section

@@ -1,0 +1,65 @@
+"""The experiment registry: completeness against the benchmark
+suite, and freshness of the committed results cache."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.exp import ResultCache, default_registry, select, spec_map
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+EXPECTED_IDS = [
+    "T1", "T2", "C1", "F2", "S1", "S2", "S3", "S4",
+    "S5", "S6", "S7", "S8", "A3", "A1", "A2",
+]
+
+
+def test_registry_is_complete_and_unique():
+    specs = default_registry()
+    assert [spec.exp_id for spec in specs] == EXPECTED_IDS
+    assert len(spec_map(specs)) == len(specs)
+
+
+def test_every_spec_has_its_bench_harness():
+    registered = {spec.bench for spec in default_registry()}
+    for bench in registered:
+        assert (REPO_ROOT / bench).is_file(), bench
+    # ...and every experiment-shaped bench file is registered (the
+    # perf suite under benchmarks/perf is a separate harness).
+    on_disk = {
+        f"benchmarks/{p.name}"
+        for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+    }
+    assert on_disk == registered
+
+
+def test_specs_declare_valid_metadata():
+    for spec in default_registry():
+        assert spec.title
+        assert spec.cost > 0
+        assert spec.version >= 1
+        # Params must round-trip through the cache key (JSON-safe).
+        spec.cache_key()
+
+
+def test_committed_results_match_current_spec_versions():
+    """The staleness gate: every committed results/<id>.json must carry
+    the cache key of the *current* spec.  A spec change without a
+    version bump + re-sweep fails here."""
+    cache = ResultCache(str(REPO_ROOT / "results"))
+    for spec in default_registry():
+        document = cache.lookup(spec)
+        assert document is not None, (
+            f"results/{spec.exp_id}.json is missing or stale — run "
+            f"`python -m repro sweep` and commit the result"
+        )
+        assert document["experiment"] == spec.exp_id
+        assert document["provenance"] == spec.provenance
+
+
+def test_select_filters_and_validates():
+    specs = default_registry()
+    assert [s.exp_id for s in select(specs, ["t2", "T1"])] == ["T1", "T2"]
+    with pytest.raises(KeyError, match="Z9"):
+        select(specs, ["Z9"])

@@ -1,0 +1,75 @@
+"""The ``python -m repro`` command-line surface.
+
+The help-drift gate: every registered subcommand must be documented
+in README.md, and the expected command set must match the parser —
+adding a subcommand without documenting it fails here.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.__main__ import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+EXPECTED_COMMANDS = {"check", "stats", "trace", "bench-perf", "sweep"}
+
+
+def registered_commands():
+    parser = build_parser()
+    (subparsers,) = [
+        action for action in parser._actions
+        if hasattr(action, "choices") and action.choices
+    ]
+    return set(subparsers.choices)
+
+
+def test_help_lists_every_subcommand():
+    assert registered_commands() == EXPECTED_COMMANDS
+    help_text = build_parser().format_help()
+    for command in EXPECTED_COMMANDS:
+        assert command in help_text, command
+
+
+def test_readme_documents_every_subcommand():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for command in EXPECTED_COMMANDS:
+        assert command in readme, (
+            f"README.md does not mention the `{command}` subcommand"
+        )
+
+
+def test_sweep_cli_round_trip(tmp_path, capsys):
+    """`sweep --only T1 --force` over a copy of the committed results
+    recomputes T1 byte-identically and regenerates the document."""
+    results_dir = tmp_path / "results"
+    shutil.copytree(REPO_ROOT / "results", results_dir)
+    out = tmp_path / "EXPERIMENTS.md"
+    code = main([
+        "sweep", "--only", "T1", "--force",
+        "--results-dir", str(results_dir), "--out", str(out),
+    ])
+    assert code == 0
+    assert (results_dir / "T1.json").read_bytes() \
+        == (REPO_ROOT / "results" / "T1.json").read_bytes()
+    assert out.read_bytes() \
+        == (REPO_ROOT / "EXPERIMENTS.md").read_bytes()
+    assert "1 ran" in capsys.readouterr().out
+
+
+def test_sweep_cli_rejects_unknown_ids(tmp_path, capsys):
+    code = main([
+        "sweep", "--only", "NOPE",
+        "--results-dir", str(tmp_path), "--out", str(tmp_path / "E.md"),
+    ])
+    assert code == 2
+    assert "NOPE" in capsys.readouterr().err
+
+
+def test_sweep_cli_render_only_requires_results(tmp_path, capsys):
+    code = main([
+        "sweep", "--render-only",
+        "--results-dir", str(tmp_path), "--out", str(tmp_path / "E.md"),
+    ])
+    assert code == 1
+    assert "sweep" in capsys.readouterr().err
