@@ -1,0 +1,24 @@
+"""[X1] Barrier scaling — host counter O(N) vs NIC combining tree
+O(log N).
+
+The measurement lives in
+:mod:`repro.exp.experiments.x1_barrier_scaling`; this harness asserts
+the structural claim (sub-linear NIC growth, linear-or-worse host
+growth, NIC wins at scale) on a reduced node sweep so the benchmark
+suite stays fast.
+"""
+
+from repro.exp.experiments.x1_barrier_scaling import SPEC, run
+
+
+def test_x1_nic_barrier_scales_sublinearly(once):
+    results = once(run, nodes=(2, 8, 32), rounds=2)
+    print()
+    print(SPEC.render(results))
+    claims = results["claims"]
+    assert claims["nic_sublinear"], claims
+    assert claims["host_linear_or_worse"], claims
+    assert claims["nic_faster_at_max"], claims
+    # Every point, not just the endpoints: the NIC barrier never loses.
+    for point in results["points"]:
+        assert point["nic"]["round_ns"] < point["host"]["round_ns"], point

@@ -1,0 +1,23 @@
+"""[X2] Fetch-and-add combining — the home word is touched once per
+window, every caller still fetches a distinct value.
+
+The measurement lives in
+:mod:`repro.exp.experiments.x2_fetch_add_combining` (which asserts the
+permutation property internally); this harness asserts the combining
+claim's shape.
+"""
+
+from repro.exp.experiments.x2_fetch_add_combining import SPEC, run
+
+
+def test_x2_combining_decongests_the_home_word(once):
+    results = once(run, **SPEC.params)
+    print()
+    print(SPEC.render(results))
+    claims = results["claims"]
+    assert claims["nic_faster"], claims
+    assert claims["home_word_decongested"], claims
+    # Combining must be real, not incidental: well under one home RMW
+    # per increment, and a matching number of merges observed.
+    assert results["nic"]["home_rmws"] <= results["total"] // 2, results
+    assert results["nic"]["combine_hits"] > 0

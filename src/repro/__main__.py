@@ -117,23 +117,27 @@ def build_faults(args) -> "dict | None":
 def demo_run(n_nodes: int, protocol: str, topology: str,
              trace_lanes: bool = False,
              profile_kernel: bool = True,
-             faults=None) -> Cluster:
+             faults=None, collectives: str = "host") -> Cluster:
     """A small all-to-all workload that lights up every subsystem:
     each node streams writes into a shared segment on node 0, reads a
-    neighbour's slot, and bumps a shared total with a remote atomic."""
+    neighbour's slot, bumps a shared total with a remote atomic, and
+    finishes at a cluster-wide collective barrier (``--collectives``
+    selects the host counter path or the NIC combining tree)."""
     config = ClusterConfig(
         n_nodes=n_nodes, protocol=protocol, topology=topology,
         trace_lanes=trace_lanes, profile_kernel=profile_kernel,
-        faults=faults,
+        faults=faults, collectives=collectives,
     )
     with Cluster(config) as cluster:
         seg = cluster.alloc_segment(home=0, pages=1, name="demo")
+        group = cluster.collective_group("demo")
         contexts = []
         for node in range(n_nodes):
             proc = cluster.create_process(node=node, name=f"demo{node}")
             base = proc.map(seg)
+            collective = group.join(proc)
 
-            def program(p, base=base, node=node):
+            def program(p, base=base, node=node, collective=collective):
                 for i in range(8):
                     yield p.store(base + 4 * node, node * 1000 + i)
                     yield p.think(500)
@@ -141,7 +145,7 @@ def demo_run(n_nodes: int, protocol: str, topology: str,
                 neighbour = (node + 1) % n_nodes
                 yield p.load(base + 4 * neighbour)
                 yield from p.fetch_and_add(base + 4 * n_nodes, 1)
-                yield p.fence()
+                yield from collective.barrier()
 
             contexts.append(cluster.start(proc, program))
         cluster.run(join=contexts)
@@ -150,7 +154,8 @@ def demo_run(n_nodes: int, protocol: str, topology: str,
 
 def cmd_stats(args) -> int:
     cluster = demo_run(args.nodes, args.protocol, args.topology,
-                       faults=build_faults(args))
+                       faults=build_faults(args),
+                       collectives=args.collectives)
     print(cluster.report().render())
     stats = cluster.stats()
     print()
@@ -174,7 +179,8 @@ def cmd_trace(args) -> int:
 
     cluster = demo_run(args.nodes, args.protocol, args.topology,
                        trace_lanes=True, profile_kernel=False,
-                       faults=build_faults(args))
+                       faults=build_faults(args),
+                       collectives=args.collectives)
     doc = export_chrome_trace(cluster, path=args.out)
     lanes = {(e["pid"], e["tid"]) for e in doc["traceEvents"]
              if e.get("ph") == "X"}
@@ -214,6 +220,23 @@ def cmd_bench_perf(args) -> int:
 def cmd_sweep(args) -> int:
     from repro.analysis.report import render_experiments_md
     from repro.exp import ResultCache, default_registry, run_sweep, select
+
+    if args.collectives:
+        # Exploratory mode: re-run the collectives experiments
+        # restricted to one backend and print the tables.  Nothing is
+        # written — the committed results/EXPERIMENTS.md (which compare
+        # both backends) stay byte-identical.
+        from repro.exp.experiments import (
+            x1_barrier_scaling,
+            x2_fetch_add_combining,
+        )
+
+        for module in (x1_barrier_scaling, x2_fetch_add_combining):
+            print(f"== {module.SPEC.exp_id}: {module.SPEC.title} "
+                  f"({args.collectives} backend only) ==")
+            print(module.render(module.run(backends=(args.collectives,))))
+            print()
+        return 0
 
     specs = default_registry()
     if args.only:
@@ -289,6 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coherence protocol (default: telegraphos)")
         p.add_argument("--topology", default="star",
                        help="fabric topology (default: star)")
+        p.add_argument("--collectives", choices=("host", "nic"),
+                       default="host",
+                       help="collective-operation backend: software "
+                            "counter barrier (host) or NIC-resident "
+                            "combining tree (nic) (default: host)")
         p.add_argument("--fault-seed", type=int, default=0,
                        help="fault-injection seed (default: 0)")
         p.add_argument("--drop-rate", type=float, default=0.0,
@@ -353,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--list", action="store_true",
                          help="list registered experiments and their "
                               "cache status, then exit")
+    p_sweep.add_argument("--collectives", choices=("host", "nic"),
+                         default=None,
+                         help="exploratory: re-run the collectives "
+                              "experiments (X1/X2) restricted to one "
+                              "backend and print the tables without "
+                              "touching results/ or EXPERIMENTS.md")
     return parser
 
 

@@ -10,8 +10,16 @@ This is the layer a Telegraphos application developer sees:
   segments (remote window or local replica), and its op builders
   (``load``/``store``/``fetch_and_add``/``remote_copy``/...) expand to
   exactly the instruction sequences of §2.2.
-- :mod:`repro.api.sync` — spin locks, barriers, and flags built on the
-  remote atomics, each embedding the §2.3.5 FENCE.
+- :mod:`repro.api.collectives` — the unified collectives surface:
+  ``cluster.collective_group(...)`` hands each member a
+  :class:`~repro.api.collectives.Collective` with ``barrier`` /
+  ``all_reduce`` / ``broadcast`` / ``fetch_add``, backed either by the
+  software counter path (``host``) or by NIC-resident combining trees
+  (``nic``).  Also home of :class:`~repro.api.collectives.Mutex` and
+  :class:`~repro.api.collectives.Signal`, each embedding the §2.3.5
+  FENCE.
+- :mod:`repro.api.sync` — the deprecated pre-collectives names
+  (``SpinLock``/``Barrier``/``Flag``), kept as warning shims.
 - :mod:`repro.api.msg` — message-passing channels built on remote
   writes ("applications that want to send small messages can do that
   very efficiently", §3.2).
@@ -36,6 +44,13 @@ Quickstart::
 """
 
 from repro.api.cluster import Cluster, Workstation
+from repro.api.collectives import (
+    Collective,
+    CollectiveGroup,
+    Mutex,
+    Signal,
+    counter_barrier_wait,
+)
 from repro.api.config import ClusterConfig
 from repro.api.msg import BroadcastChannel, Channel
 from repro.api.shmem import Proc, Segment
@@ -47,9 +62,14 @@ __all__ = [
     "Channel",
     "Cluster",
     "ClusterConfig",
+    "Collective",
+    "CollectiveGroup",
     "Flag",
+    "Mutex",
     "Proc",
     "Segment",
+    "Signal",
     "SpinLock",
     "Workstation",
+    "counter_barrier_wait",
 ]

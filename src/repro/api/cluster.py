@@ -154,6 +154,8 @@ class Cluster:
                     threshold=config.replication_threshold,
                 )
         self._segments: Dict[str, "Segment"] = {}
+        self._collective_groups: Dict[str, "CollectiveGroup"] = {}
+        self._collective_gids = 0
         self._register_metrics()
 
     @staticmethod
@@ -218,6 +220,38 @@ class Cluster:
         from repro.api.shmem import Proc
 
         return Proc(self, node, name)
+
+    # -- collectives --------------------------------------------------------
+
+    def collective_group(self, name: str, nodes=None,
+                         backend: Optional[str] = None, radix: int = 2,
+                         release: str = "tree",
+                         combine_window_ns: int = 400,
+                         poll_ns: int = 2000) -> "CollectiveGroup":
+        """Create a named collective group (see
+        :mod:`repro.api.collectives`).
+
+        ``nodes`` defaults to every node; ``backend`` defaults to
+        ``config.collectives`` (``"host"`` or ``"nic"``).
+        """
+        from repro.api.collectives import CollectiveGroup
+
+        if name in self._collective_groups:
+            raise ValueError(f"collective group {name!r} already exists")
+        if nodes is None:
+            nodes = range(len(self.nodes))
+        group = CollectiveGroup(
+            self, name, nodes,
+            backend=backend or self.config.collectives,
+            radix=radix, release=release,
+            combine_window_ns=combine_window_ns, poll_ns=poll_ns,
+        )
+        self._collective_groups[name] = group
+        return group
+
+    def _next_collective_gid(self) -> int:
+        self._collective_gids += 1
+        return self._collective_gids
 
     def start(self, proc: "Proc", body_fn):
         """Start ``body_fn(proc)`` as a program on the process's CPU."""
@@ -319,6 +353,9 @@ class Cluster:
             for key in hib.stats:
                 m.gauge_fn(f"hib.{key}",
                            lambda s=hib.stats, k=key: s[k], node=nid)
+            for key in hib.coll.stats:
+                m.gauge_fn(f"hib.coll.{key}",
+                           lambda s=hib.coll.stats, k=key: s[k], node=nid)
             out = hib.outstanding
             m.gauge_fn("hib.outstanding", lambda o=out: o.count, node=nid)
             m.gauge_fn("hib.outstanding_peak",

@@ -42,6 +42,10 @@ class ClusterConfig:
     - ``dram_bytes`` — per-node main memory.
     - ``replication_threshold`` — enable the §2.2.6 alarm-driven
       replication policy at this access count (``None`` = off).
+    - ``collectives`` — default backend for collective groups
+      (:mod:`repro.api.collectives`): ``"host"`` (software counter
+      barrier over remote atomics — the classic path, default) or
+      ``"nic"`` (HIB-resident combining tree + multicast release).
 
     Observability:
 
@@ -79,10 +83,16 @@ class ClusterConfig:
     trace_lanes: bool = False
     profile_kernel: bool = False
     faults: Optional[Union[Dict[str, Any], FaultConfig]] = None
+    collectives: str = "host"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        if self.collectives not in ("host", "nic"):
+            raise ValueError(
+                f"unknown collectives backend {self.collectives!r}; "
+                "expected 'host' or 'nic'"
+            )
         # Validate eagerly so a typo'd fault key fails at config time,
         # not mid-build.
         self.fault_config()

@@ -1,65 +1,62 @@
-"""Synchronization built on the remote atomics (§2.2.3, §2.3.5).
+"""Deprecated synchronization names (see :mod:`repro.api.collectives`).
 
-"The MEMORY_BARRIER operation is embedded inside all implementations
-of synchronization operations (e.g. locks, barriers), in order to make
-sure that all outstanding memory accesses complete before the
-synchronization operation."
+This module used to hold the spin lock, counter barrier, and
+producer/consumer flag built on the remote atomics (§2.2.3, §2.3.5).
+Those algorithms now live in :mod:`repro.api.collectives` — the
+unified collectives surface — as :class:`~repro.api.collectives.Mutex`,
+:func:`~repro.api.collectives.counter_barrier_wait` (and the
+backend-selectable :class:`~repro.api.collectives.Collective`
+``barrier()``), and :class:`~repro.api.collectives.Signal`.
 
-All three primitives operate on words of a shared segment mapped
-through the remote window, so the atomic executes at the home node's
-HIB (the single serialization point) and releases are plain
-sub-microsecond remote writes.
+The old names keep working for one major version as thin shims that
+emit :class:`DeprecationWarning` on construction:
+
+- ``SpinLock``  → :class:`repro.api.collectives.Mutex`
+- ``Barrier``   → :func:`repro.api.collectives.counter_barrier_wait`
+  (or a group barrier via ``Cluster.collective_group``)
+- ``Flag``      → :class:`repro.api.collectives.Signal`
 """
 
 from __future__ import annotations
 
+import warnings
+
+from repro.api.collectives import Mutex, Signal, counter_barrier_wait
 from repro.api.shmem import Proc
 
 
-class SpinLock:
-    """A test-and-set spin lock on one shared word.
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.api.sync.{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    ``acquire``/``release`` are generators to ``yield from`` inside a
-    program.  The lock word must start at 0 (unlocked).
-    """
+
+class SpinLock(Mutex):
+    """Deprecated alias of :class:`repro.api.collectives.Mutex`."""
 
     def __init__(self, proc: Proc, vaddr: int, backoff_ns: int = 2000):
-        self.proc = proc
-        self.vaddr = vaddr
-        self.backoff_ns = backoff_ns
-        self.acquisitions = 0
-        self.spins = 0
-
-    def acquire(self):
-        while True:
-            old = yield from self.proc.compare_and_swap(self.vaddr, 0, 1)
-            if old == 0:
-                self.acquisitions += 1
-                # The atomic's reply orders us after prior owners; the
-                # §2.3.5 FENCE on acquire completes our own pre-lock
-                # accesses before entering the critical section.
-                yield self.proc.fence()
-                return
-            self.spins += 1
-            yield self.proc.think(self.backoff_ns)
-
-    def release(self):
-        # FENCE first: every write made inside the critical section
-        # must complete before the lock is observably free (§2.3.5's
-        # UNLOCK(flag) example).
-        yield self.proc.fence()
-        yield self.proc.store(self.vaddr, 0)
+        _deprecated("SpinLock", "repro.api.collectives.Mutex")
+        super().__init__(proc, vaddr, backoff_ns)
 
 
 class Barrier:
-    """A sense-reversing counter barrier across ``n_parties``.
+    """Deprecated: a sense-reversing counter barrier across
+    ``n_parties``.
 
-    Uses two shared words: ``count_vaddr`` (fetch&add arrival counter)
-    and ``gen_vaddr`` (generation number spun on with remote reads).
+    Use :func:`repro.api.collectives.counter_barrier_wait` directly,
+    or — for a backend-selectable group barrier (host counter vs
+    NIC combining tree) — ``Cluster.collective_group(...)``.
     """
 
     def __init__(self, proc: Proc, count_vaddr: int, gen_vaddr: int,
                  n_parties: int, poll_ns: int = 2000):
+        _deprecated(
+            "Barrier",
+            "repro.api.collectives.counter_barrier_wait or "
+            "Cluster.collective_group",
+        )
         self.proc = proc
         self.count_vaddr = count_vaddr
         self.gen_vaddr = gen_vaddr
@@ -67,49 +64,22 @@ class Barrier:
         self.poll_ns = poll_ns
 
     def wait(self):
-        proc = self.proc
-        yield proc.fence()  # §2.3.5: my writes complete before I arrive
-        generation = yield proc.load(self.gen_vaddr)
-        arrived = yield from proc.fetch_and_add(self.count_vaddr, 1)
-        if arrived == self.n_parties - 1:
-            # Last arrival: reset the counter, then advance the
-            # generation; the fence orders the two remote writes.
-            yield proc.store(self.count_vaddr, 0)
-            yield proc.fence()
-            yield proc.store(self.gen_vaddr, generation + 1)
-            return
-        while True:
-            current = yield proc.load(self.gen_vaddr)
-            if current != generation:
-                return
-            yield proc.think(self.poll_ns)
+        yield from counter_barrier_wait(
+            self.proc, self.count_vaddr, self.gen_vaddr,
+            self.n_parties, self.poll_ns,
+        )
 
 
-class Flag:
-    """A producer/consumer flag: the §2.3.5 example made safe.
-
-    ``raise_flag`` embeds the FENCE, so a consumer that saw the flag
-    can never read stale data — the exact fix the paper prescribes for
-    its write(data)/write(flag) anomaly.
-    """
+class Flag(Signal):
+    """Deprecated alias of :class:`repro.api.collectives.Signal` (the
+    method names moved: ``raise_flag`` → ``raise_signal``)."""
 
     def __init__(self, proc: Proc, vaddr: int, poll_ns: int = 2000):
-        self.proc = proc
-        self.vaddr = vaddr
-        self.poll_ns = poll_ns
+        _deprecated("Flag", "repro.api.collectives.Signal")
+        super().__init__(proc, vaddr, poll_ns)
 
     def raise_flag(self, value: int = 1):
-        yield self.proc.fence()
-        yield self.proc.store(self.vaddr, value)
+        yield from self.raise_signal(value)
 
     def raise_flag_unsafe(self, value: int = 1):
-        """The buggy §2.3.5 pattern (no fence) — kept for the
-        experiment that demonstrates the anomaly."""
-        yield self.proc.store(self.vaddr, value)
-
-    def await_value(self, value: int = 1):
-        while True:
-            current = yield self.proc.load(self.vaddr)
-            if current == value:
-                return
-            yield self.proc.think(self.poll_ns)
+        yield from self.raise_signal_unsafe(value)

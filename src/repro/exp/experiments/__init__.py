@@ -30,6 +30,8 @@ from repro.exp.experiments import (
     s8_update_vs_invalidate,
     t1_gatecount,
     t2_latency,
+    x1_barrier_scaling,
+    x2_fetch_add_combining,
 )
 from repro.exp.spec import ExperimentSpec
 
@@ -50,6 +52,8 @@ SPECS: List[ExperimentSpec] = [
     a3_false_sharing.SPEC,
     a1_prototypes.SPEC,
     a2_topology.SPEC,
+    x1_barrier_scaling.SPEC,
+    x2_fetch_add_combining.SPEC,
 ]
 
 __all__ = ["SPECS"]

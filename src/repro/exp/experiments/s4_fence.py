@@ -30,7 +30,7 @@ from repro.exp.spec import ExperimentSpec
 
 def _run_scenario(safe: bool) -> Dict[str, Any]:
     """Returns the value B read and A's elapsed publish time."""
-    from repro.api import Cluster, ClusterConfig, Flag
+    from repro.api import Cluster, ClusterConfig, Signal
 
     cluster = Cluster(ClusterConfig(n_nodes=5))
     # data homed at B (node 1): B reads it locally, A writes it remotely.
@@ -53,7 +53,7 @@ def _run_scenario(safe: bool) -> Dict[str, Any]:
     producer = cluster.create_process(node=0, name="A")
     data_w = producer.map(data)
     flag_w = producer.map(flags)
-    a_flag = Flag(producer, flag_w)
+    a_flag = Signal(producer, flag_w)
     timings = {}
 
     def produce(p):
@@ -61,15 +61,15 @@ def _run_scenario(safe: bool) -> Dict[str, Any]:
         start = cluster.now
         yield p.store(data_w, 4242)
         if safe:
-            yield from a_flag.raise_flag()        # FENCE inside
+            yield from a_flag.raise_signal()        # FENCE inside
         else:
-            yield from a_flag.raise_flag_unsafe()  # the paper's bug
+            yield from a_flag.raise_signal_unsafe()  # the paper's bug
         timings["publish"] = cluster.now - start
 
     consumer = cluster.create_process(node=1, name="B")
     data_r = consumer.map(data)   # local: B is the home
     flag_r = consumer.map(flags)
-    b_flag = Flag(consumer, flag_r)
+    b_flag = Signal(consumer, flag_r)
     got = {}
 
     def consume(p):

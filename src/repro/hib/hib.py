@@ -28,7 +28,8 @@ import itertools
 from typing import Any, Dict, Optional
 
 from repro.faults.injector import NodeUnreachableError
-from repro.hib.atomic import apply_atomic
+from repro.hib.atomic import AtomicOp, apply_atomic
+from repro.hib.collectives import CollectiveUnit
 from repro.hib.multicast import MulticastTable
 from repro.hib.outstanding import OutstandingOps
 from repro.hib.reliable import ReliableTransport
@@ -85,6 +86,8 @@ class HIB:
             alarm=self._counter_alarm,
         )
         self.multicast = MulticastTable(sizing.multicast_entries)
+        #: NIC-resident collectives (repro.hib.collectives).
+        self.coll = CollectiveUnit(self)
         self.special1 = SpecialModeTg1()
         self.contexts = [TelegraphosContext(i) for i in range(sizing.contexts)]
         #: Pluggable coherence engine (repro.coherence); None = bare HIB.
@@ -146,6 +149,10 @@ class HIB:
             PacketKind.COPY_REQ: self._serve_copy,
             PacketKind.UPDATE: self._serve_update,
             PacketKind.RING_UPDATE: self._serve_ring,
+            PacketKind.COLL_JOIN: self.coll.on_join,
+            PacketKind.COLL_RELEASE: self.coll.on_release,
+            PacketKind.COLL_FADD: self.coll.on_fadd,
+            PacketKind.COLL_FADD_REPLY: self.coll.on_fadd_reply,
         }
         self._service = sim.spawn(self._service_loop(), name=f"hib{node_id}.svc")
         self._replies = sim.spawn(self._reply_loop(), name=f"hib{node_id}.rsp")
@@ -218,6 +225,27 @@ class HIB:
         )
         yield self.outstanding.fence()
 
+    def tc_collective(self, gid: int, op: str, value: Optional[int]):
+        """A collective arrival (barrier / reduction / broadcast) that
+        reached the TurboChannel.  One TC transaction hands the
+        contribution to the HIB's combine unit; the processor then
+        blocks on the release, like a blocked remote read."""
+        timing = self.params.timing
+        yield from self.tc_bus.transact(timing.tc_arb_ns + timing.tc_data_ns)
+        yield timing.tc_sync_ns
+        result = yield from self.coll.contribute(gid, op, value)
+        yield from self.tc_bus.transact(timing.tc_data_ns)
+        return result
+
+    def tc_coll_fetch_add(self, gid: int, home: int, offset: int, delta: int):
+        """A combining fetch-and-add that reached the TurboChannel."""
+        timing = self.params.timing
+        yield from self.tc_bus.transact(timing.tc_arb_ns + timing.tc_data_ns)
+        yield timing.tc_sync_ns
+        value = yield from self.coll.fetch_add(gid, home, offset, delta)
+        yield from self.tc_bus.transact(timing.tc_data_ns)
+        return value
+
     # ------------------------------------------------------------------
     # Outgoing operations
     # ------------------------------------------------------------------
@@ -253,6 +281,8 @@ class HIB:
                 and packet.origin == self.node_id):
             self.outstanding.decrement()
             return True
+        if packet.kind.is_collective:
+            return self.coll.abandon(packet, peer)
         return False
 
     def _issue_remote_write(self, home: int, offset: int, value: int, ack_to=None):
@@ -461,6 +491,15 @@ class HIB:
             yield from self._after_home_atomic(offset, new, old)
             return result
         self.page_counters.on_access((home, self.amap.page_of(offset)), "write")
+        result = yield from self.issue_atomic(home, offset, atomic, op0, op1)
+        return result
+
+    def issue_atomic(self, home: int, offset: int, atomic: AtomicOp,
+                     op0: int, op1: int = 0):
+        """Send an ATOMIC_REQ to ``home`` and block for its reply.
+
+        The shared remote-atomic path of the special-operation unit and
+        the collective engine's root fetch-and-add application."""
         op_id = next(self._op_ids)
         future = Future()
         self._pending[op_id] = future

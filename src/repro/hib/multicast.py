@@ -27,14 +27,19 @@ class MulticastTable:
 
     def map_out(self, local_page: int, node: int, remote_page: int) -> None:
         """Add one destination for a local page (OS/driver operation)."""
-        destinations = self._map.setdefault(local_page, [])
         dest = (node, remote_page)
-        if dest in destinations:
+        destinations = self._map.get(local_page)
+        if destinations is not None and dest in destinations:
             return
         if self.entries_used >= self.capacity_entries:
+            # Reject *before* creating the page's list: a failed map
+            # must not leave a phantom empty mapping behind (it would
+            # make ``is_mapped`` true and leak into ``mapped_pages``).
             raise RuntimeError(
                 f"multicast table full ({self.capacity_entries} entries)"
             )
+        if destinations is None:
+            destinations = self._map.setdefault(local_page, [])
         destinations.append(dest)
         self.entries_used += 1
 

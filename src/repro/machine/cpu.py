@@ -19,7 +19,7 @@ arguments rest on:
 The CPU does not know about the HIB specifically: anything outside
 local DRAM is handed to an ``io_device`` implementing the small
 TurboChannel-slave protocol (``tc_store`` / ``tc_load`` / ``tc_fence``
-generator methods).
+/ ``tc_collective`` / ``tc_coll_fetch_add`` generator methods).
 """
 
 from __future__ import annotations
@@ -33,7 +33,15 @@ from repro.machine.bus import Bus
 from repro.machine.cache import DirectMappedCache
 from repro.machine.memory import WordMemory
 from repro.machine.mmu import MMU, AddressSpace, PageFault
-from repro.machine.ops import Fence, Load, PalSequence, Store, Think
+from repro.machine.ops import (
+    CollectiveCall,
+    CollectiveFetchAdd,
+    Fence,
+    Load,
+    PalSequence,
+    Store,
+    Think,
+)
 from repro.params import Params
 from repro.sim import Future, Process, Simulator
 
@@ -258,6 +266,33 @@ class CPU:
             yield from self.io.tc_fence()
             self.io_stall_ns += self.sim.now - began
             return None
+        if isinstance(op, CollectiveCall):
+            yield timing.cpu_issue_ns
+            began = self.sim.now
+            result = yield from self.io.tc_collective(op.group, op.op, op.value)
+            self.io_stall_ns += self.sim.now - began
+            return result
+        if isinstance(op, CollectiveFetchAdd):
+            yield timing.cpu_issue_ns
+            phys, _pte, tlb_hit = self._translate(op.vaddr, is_write=True)
+            if not tlb_hit:
+                yield from self._walk_penalty()
+            decoded = self.amap.decode(phys)
+            if decoded.region is Region.REMOTE:
+                home = decoded.node
+            elif decoded.region is Region.MPM:
+                home = self.node_id
+            else:
+                raise TypeError(
+                    f"CollectiveFetchAdd target {op.vaddr:#x} is not "
+                    "shared memory (must decode to an MPM/remote window)"
+                )
+            began = self.sim.now
+            value = yield from self.io.tc_coll_fetch_add(
+                op.group, home, decoded.offset, op.delta
+            )
+            self.io_stall_ns += self.sim.now - began
+            return value
         if isinstance(op, PalSequence):
             return (yield from self._execute_pal(op, ctx))
         raise TypeError(f"program {ctx.name!r} yielded unknown op {op!r}")

@@ -22,6 +22,17 @@ mirroring §2.2 of the paper:
   sequence number.  They exist only when fault injection is enabled,
   are never themselves sequenced or acknowledged, and ride the
   response plane so congested request traffic cannot delay recovery.
+- ``COLL_JOIN`` / ``COLL_RELEASE`` — NIC-resident collective packets
+  (:mod:`repro.hib.collectives`): a combined arrival travelling *up*
+  the combining tree, and the release/result travelling back *down*
+  (or fanned out via the multicast directory).
+- ``COLL_FADD`` / ``COLL_FADD_REPLY`` — a combined fetch-and-add
+  travelling up the combining tree, and the base-value distribution
+  coming back down.  All four collective kinds ride the request plane:
+  a collective round is self-throttled (at most one outstanding round
+  per group per node), so they cannot contribute to request/response
+  protocol deadlock, and keeping them on one plane preserves the
+  combining tree's FIFO ordering per parent/child link.
 
 Packets carry their wire size so links can charge serialization time.
 
@@ -52,6 +63,10 @@ class PacketKind(enum.Enum):
     RING_UPDATE = "ring_update"
     LL_ACK = "ll_ack"
     LL_NACK = "ll_nack"
+    COLL_JOIN = "coll_join"
+    COLL_RELEASE = "coll_release"
+    COLL_FADD = "coll_fadd"
+    COLL_FADD_REPLY = "coll_fadd_reply"
 
     @property
     def is_reply(self) -> bool:
@@ -69,6 +84,12 @@ class PacketKind(enum.Enum):
         retransmission timeout, cf. Yu et al.'s NIC-based protocol)."""
         return self._is_ll_control
 
+    @property
+    def is_collective(self) -> bool:
+        """Collective-protocol packets are served by the HIB's
+        :class:`~repro.hib.collectives.CollectiveUnit`."""
+        return self._is_collective
+
 
 # Membership is fixed at class-definition time; precomputing it onto
 # each member turns the per-packet plane test into one attribute load.
@@ -77,6 +98,7 @@ for _kind in PacketKind:
     _kind._is_reply = _kind.name in (
         "READ_REPLY", "ATOMIC_REPLY", "WRITE_ACK", "LL_ACK", "LL_NACK",
     )
+    _kind._is_collective = _kind.name.startswith("COLL_")
 del _kind
 
 

@@ -249,6 +249,26 @@ class PacketSizes:
         # Link-level ack/nack: header + plane tag + cumulative seq.
         return self.header + self.word
 
+    @property
+    def coll_join(self) -> int:
+        # Combined arrival: group/generation tag + combined value.
+        return self.header + 2 * self.word
+
+    @property
+    def coll_release(self) -> int:
+        # Release/result broadcast: group/generation tag + value.
+        return self.header + 2 * self.word
+
+    @property
+    def coll_fadd(self) -> int:
+        # Combined fetch&add: group/window tag + address + delta.
+        return self.header + self.address + 2 * self.word
+
+    @property
+    def coll_fadd_reply(self) -> int:
+        # Base-value distribution: group/window tag + value.
+        return self.header + 2 * self.word
+
 
 @dataclass(frozen=True)
 class Params:

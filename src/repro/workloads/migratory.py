@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.api.sync import SpinLock
+from repro.api.collectives import Mutex
 
 
 @dataclass
@@ -46,7 +46,7 @@ def run_migratory(
         proc = cluster.create_process(station.node_id, f"mig{station.node_id}")
         lock_base = proc.map(sync)
         data_base = proc.map(data, mode=sharing if sharing == "replica" else "remote")
-        lock = SpinLock(proc, lock_base)
+        lock = Mutex(proc, lock_base)
 
         def program(p, lock=lock, data_base=data_base):
             for _ in range(rounds_per_node):

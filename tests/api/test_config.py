@@ -41,6 +41,19 @@ def test_config_round_trip_preserves_none_params():
     assert ClusterConfig.from_dict(config.to_dict()) == config
 
 
+def test_config_collectives_round_trips():
+    config = ClusterConfig(n_nodes=4, collectives="nic")
+    data = config.to_dict()
+    assert data["collectives"] == "nic"
+    assert ClusterConfig.from_dict(data) == config
+    assert ClusterConfig().collectives == "host"
+
+
+def test_config_rejects_unknown_collectives_backend():
+    with pytest.raises(ValueError, match="collectives"):
+        ClusterConfig(collectives="fpga")
+
+
 # -- deprecation of the old constructor forms -----------------------------
 
 

@@ -11,7 +11,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 EXPECTED_IDS = [
     "T1", "T2", "C1", "F2", "S1", "S2", "S3", "S4",
-    "S5", "S6", "S7", "S8", "A3", "A1", "A2",
+    "S5", "S6", "S7", "S8", "A3", "A1", "A2", "X1", "X2",
 ]
 
 

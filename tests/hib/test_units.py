@@ -187,6 +187,40 @@ def test_multicast_unmap():
     assert table.entries_used == 0
 
 
+def test_multicast_failed_map_leaves_no_phantom_mapping():
+    """Regression: a capacity-rejected ``map_out`` used to create the
+    page's (empty) destination list before the check, leaving a
+    phantom mapping that polluted ``is_mapped``/``mapped_pages``."""
+    table = MulticastTable(capacity_entries=2)
+    table.map_out(0, 1, 1)
+    table.map_out(0, 2, 2)
+    with pytest.raises(RuntimeError, match="full"):
+        table.map_out(5, 1, 1)
+    assert not table.is_mapped(5)
+    assert table.mapped_pages() == [0]
+    assert table.entries_used == 2
+
+
+def test_multicast_fill_unmap_refill_cycle():
+    """Capacity accounting survives fill-to-capacity / unmap_page /
+    refill — entries freed by ``unmap_page`` are reusable."""
+    table = MulticastTable(capacity_entries=4)
+    for dest in range(4):
+        table.map_out(dest % 2, node=dest + 1, remote_page=dest)
+    assert table.entries_used == 4
+    with pytest.raises(RuntimeError, match="full"):
+        table.map_out(3, 9, 9)
+    table.unmap_page(0)
+    assert table.entries_used == 2
+    table.map_out(3, 9, 9)
+    table.map_out(3, 10, 10)
+    assert table.entries_used == 4
+    assert table.mapped_pages() == [1, 3]
+    # A duplicate at capacity stays a quiet no-op (no phantom growth).
+    table.map_out(3, 9, 9)
+    assert table.entries_used == 4
+
+
 # -- Atomic ALU --------------------------------------------------------------
 
 

@@ -39,6 +39,31 @@ def test_readme_documents_every_subcommand():
         )
 
 
+def test_collectives_flag_on_every_cluster_command():
+    """`--collectives {host,nic}` is part of the cluster surface:
+    present on stats/trace/bench-perf and (as the exploratory mode) on
+    sweep — and documented in README.md."""
+    parser = build_parser()
+    (subparsers,) = [
+        action for action in parser._actions
+        if hasattr(action, "choices") and action.choices
+    ]
+    for command in ("stats", "trace", "sweep"):
+        sub = subparsers.choices[command]
+        (action,) = [a for a in sub._actions
+                     if "--collectives" in a.option_strings]
+        assert set(action.choices) == {"host", "nic"}, command
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "--collectives" in readme, (
+        "README.md does not document the --collectives flag"
+    )
+
+
+def test_stats_cli_accepts_collectives_backend(capsys):
+    assert main(["stats", "--nodes", "2", "--collectives", "nic"]) == 0
+    assert "remote_writes" in capsys.readouterr().out
+
+
 def test_sweep_cli_round_trip(tmp_path, capsys):
     """`sweep --only T1 --force` over a copy of the committed results
     recomputes T1 byte-identically and regenerates the document."""

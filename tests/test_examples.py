@@ -37,7 +37,8 @@ def test_streaming_pipeline_example():
 
 def test_parallel_reduction_example():
     out = run_example("parallel_reduction.py")
-    assert "global sum at home node" in out
+    assert "[host]" in out and "[nic]" in out
+    assert out.count("global sum") == 2
 
 
 def test_remote_paging_example():
