@@ -18,6 +18,15 @@ Three scenarios, chosen to stress different layers:
 - ``fault_soak`` — a seeded lossy fabric under the reliable
   transport: retransmission timers, nack/ack control packets, and the
   tombstoned timer cancellations of the retry protocol.
+
+A fourth, *two-phase* scenario measures fabric scale rather than a
+protocol layer:
+
+- ``fabric_scaling`` — neighbor-exchange on 256/512/1024-node meshes
+  (256 only in quick mode).  Cluster construction is deliberately
+  untimed (:func:`build_fabric_scaling` returns a staged closure):
+  the measurement is events/sec of the *running* fabric, not of
+  route-table construction.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ _SIZES: Dict[str, Dict[str, int]] = {
         "pc_words": 32,
         "soak_nodes": 4,
         "soak_writes": 160,
+        "soak_seed": 7,
     },
     "quick": {
         "hotspot_nodes": 4,
@@ -48,8 +58,18 @@ _SIZES: Dict[str, Dict[str, int]] = {
         "pc_words": 12,
         "soak_nodes": 3,
         "soak_writes": 40,
+        "soak_seed": 7,
     },
 }
+
+#: Mesh sizes for the fabric-scaling workload, per mode.
+FABRIC_SCALING_NODES: Dict[str, List[int]] = {
+    "full": [256, 512, 1024],
+    "quick": [256],
+}
+
+#: Remote words each node writes to its ring neighbor per exchange.
+FABRIC_SCALING_WORDS = 4
 
 
 def _bare_config(**kwargs) -> ClusterConfig:
@@ -90,10 +110,13 @@ def producer_consumer(mode: str) -> Cluster:
 
 def fault_soak(mode: str) -> Cluster:
     size = _SIZES[mode]
+    # The seed lives in _SIZES so every worker (and every repeat of
+    # ``repro bench-perf``) draws the byte-identical fault schedule.
     cluster = Cluster(_bare_config(
         n_nodes=size["soak_nodes"],
         protocol="none",
-        faults={"seed": 7, "drop_rate": 0.01, "corrupt_rate": 0.002},
+        faults={"seed": size["soak_seed"], "drop_rate": 0.01,
+                "corrupt_rate": 0.002},
     ))
     seg = cluster.alloc_segment(home=0, pages=2, name="soak")
     contexts = []
@@ -114,6 +137,43 @@ def fault_soak(mode: str) -> Cluster:
     cluster.run(join=contexts)
     cluster.assert_quiescent()
     return cluster
+
+
+def build_fabric_scaling(n_nodes: int,
+                         kernel: str = "bucket") -> Callable[[], Cluster]:
+    """Build (untimed) an ``n_nodes`` mesh with a neighbor-exchange
+    program staged on every node; the returned closure runs the staged
+    exchange and is the timed phase.
+
+    Every node streams :data:`FABRIC_SCALING_WORDS` remote stores into
+    the page homed on its clockwise ring neighbor, then fences — an
+    all-nodes-active pattern whose event population scales linearly
+    with the fabric, exercising route fan-out and per-link pumps at
+    256-1024 nodes.
+    """
+    cluster = Cluster(_bare_config(
+        n_nodes=n_nodes, protocol="none", topology="mesh", kernel=kernel))
+    segments = [
+        cluster.alloc_segment(home=node, pages=1, name=f"nx{node}")
+        for node in range(n_nodes)
+    ]
+    contexts = []
+    for node in range(n_nodes):
+        proc = cluster.create_process(node=node, name=f"x{node}")
+        base = proc.map(segments[(node + 1) % n_nodes])
+
+        def program(p, base=base, node=node):
+            for i in range(FABRIC_SCALING_WORDS):
+                yield p.store(base + 4 * i, node * 64 + i)
+            yield p.fence()
+
+        contexts.append(cluster.start(proc, program))
+
+    def go() -> Cluster:
+        cluster.run(join=contexts)
+        return cluster
+
+    return go
 
 
 WORKLOADS: Dict[str, Callable[[str], Cluster]] = {

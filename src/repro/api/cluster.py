@@ -49,7 +49,7 @@ from repro.obs import EventLoopProfiler, MetricsRegistry
 from repro.os import NodeOS, TelegraphosDriver, VirtualMemoryManager
 from repro.os.replication import AlarmReplicationPolicy
 from repro.params import DEFAULT_PARAMS, Params
-from repro.sim import Simulator, Tracer
+from repro.sim import Simulator, Tracer, make_simulator
 
 
 class Workstation:
@@ -107,7 +107,7 @@ class Cluster:
         self.config = config
         self.params = config.params or DEFAULT_PARAMS
         self.protocol = config.protocol
-        self.sim = Simulator()
+        self.sim = make_simulator(config.kernel)
         self.metrics = MetricsRegistry(enabled=config.metrics)
         self.profiler: Optional[EventLoopProfiler] = None
         if config.profile_kernel:

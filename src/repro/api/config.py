@@ -46,6 +46,11 @@ class ClusterConfig:
       (:mod:`repro.api.collectives`): ``"host"`` (software counter
       barrier over remote atomics — the classic path, default) or
       ``"nic"`` (HIB-resident combining tree + multicast release).
+    - ``kernel`` — event-loop implementation
+      (see :func:`repro.sim.make_simulator`): ``"bucket"`` (the tiered
+      production kernel, default) or ``"reference"`` (the pure-heap
+      per-event oracle used for differential kernel testing).  Both
+      dispatch events in the identical ``(time, seq)`` order.
 
     Observability:
 
@@ -84,6 +89,7 @@ class ClusterConfig:
     profile_kernel: bool = False
     faults: Optional[Union[Dict[str, Any], FaultConfig]] = None
     collectives: str = "host"
+    kernel: str = "bucket"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -92,6 +98,11 @@ class ClusterConfig:
             raise ValueError(
                 f"unknown collectives backend {self.collectives!r}; "
                 "expected 'host' or 'nic'"
+            )
+        if self.kernel not in ("bucket", "reference"):
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                "expected 'bucket' or 'reference'"
             )
         # Validate eagerly so a typo'd fault key fails at config time,
         # not mid-build.

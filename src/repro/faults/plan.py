@@ -158,6 +158,12 @@ class FaultPlan:
             (category, getattr(config, f"{category}_rate"))
             for category in CATEGORIES
         ]
+        # Per-site decision state, computed once per site: ``None`` for
+        # filtered-out sites, else [(category, rate, payload prefix)]
+        # for the active (non-zero-rate) categories.  Zero-rate
+        # categories draw no randomness, so skipping them leaves every
+        # remaining decision byte-identical to the unskipped schedule.
+        self._site_state: Dict[str, Optional[List[Tuple[str, float, bytes]]]] = {}
 
     def site_matches(self, site: str) -> bool:
         sites = self.config.sites
@@ -165,18 +171,38 @@ class FaultPlan:
             return True
         return any(fragment in site for fragment in sites)
 
+    def _state_for(self, site: str) -> Optional[List[Tuple[str, float, bytes]]]:
+        if not self.site_matches(site):
+            return None
+        seed = self.config.seed
+        return [
+            (category, rate, f"{seed}|{category}|{site}|".encode())
+            for category, rate in self._rates if rate
+        ]
+
     def decide(self, site: str) -> FaultDecision:
-        """Decision for the next packet crossing ``site``."""
+        """Decision for the next packet crossing ``site``.
+
+        Decisions are byte-identical to calling
+        :func:`decision_fraction` per category: the cached prefix +
+        ordinal concatenation reproduces its payload exactly.
+        """
         ordinal = self._ordinals.get(site, 0) + 1
         self._ordinals[site] = ordinal
-        for fragment, nth in self.config.drop_exact:
-            if fragment in site and ordinal == nth:
-                return FaultDecision(kind="drop", forced=True)
-        if not self.site_matches(site):
+        drop_exact = self.config.drop_exact
+        if drop_exact:
+            for fragment, nth in drop_exact:
+                if fragment in site and ordinal == nth:
+                    return FaultDecision(kind="drop", forced=True)
+        state = self._site_state.get(site, False)
+        if state is False:
+            state = self._site_state[site] = self._state_for(site)
+        if state is None:
             return _DELIVER
-        seed = self.config.seed
-        for category, rate in self._rates:
-            if rate and decision_fraction(seed, category, site, ordinal) < rate:
+        suffix = b"%d" % ordinal
+        for category, rate, prefix in state:
+            digest = hashlib.blake2b(prefix + suffix, digest_size=8).digest()
+            if int.from_bytes(digest, "big") / float(1 << 64) < rate:
                 if category == "stall":
                     return FaultDecision(kind="stall",
                                          stall_ns=self.config.stall_ns)

@@ -79,9 +79,16 @@ class AddressMap:
     #: Size of each node's shared-memory window (== MPM size, Table 1).
     WINDOW_BYTES = 1 << NODE_SHIFT
 
+    #: Decoded-address cache bound; cleared wholesale when exceeded.
+    _DECODE_CACHE_MAX = 65536
+
     def __init__(self, word_bytes: int = 4, page_bytes: int = 8192):
         self.word_bytes = word_bytes
         self.page_bytes = page_bytes
+        # phys -> DecodedAddress.  Decoding is pure and DecodedAddress
+        # frozen, so memoization is safe; workloads touch a small set
+        # of addresses over and over.
+        self._decode_cache: dict = {}
 
     # -- encoding -----------------------------------------------------
 
@@ -124,6 +131,9 @@ class AddressMap:
     # -- decoding -----------------------------------------------------------
 
     def decode(self, phys: int) -> DecodedAddress:
+        cached = self._decode_cache.get(phys)
+        if cached is not None:
+            return cached
         if phys < 0 or phys >> self.PHYS_BITS:
             raise ValueError(f"physical address 0x{phys:x} out of range")
         shadow = bool(phys & self.SHADOW_BIT)
@@ -133,7 +143,13 @@ class AddressMap:
         node: Optional[int] = None
         if region is Region.REMOTE:
             node = (base >> self.NODE_SHIFT) & self.NODE_MASK
-        return DecodedAddress(region=region, offset=offset, node=node, shadow=shadow)
+        decoded = DecodedAddress(
+            region=region, offset=offset, node=node, shadow=shadow)
+        cache = self._decode_cache
+        if len(cache) >= self._DECODE_CACHE_MAX:
+            cache.clear()
+        cache[phys] = decoded
+        return decoded
 
     # -- geometry helpers --------------------------------------------------------
 

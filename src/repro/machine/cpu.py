@@ -168,14 +168,16 @@ class CPU:
     # -- the interpreter -------------------------------------------------------
 
     def _interpret(self, body, ctx: ProgramContext):
+        timing = self.params.timing
         result: Any = None
         throw: Optional[BaseException] = None
         while True:
             # Preemption point: honour a deferred switch request, then
-            # park while another program is current.
+            # park while another program is current.  ``_desired`` is
+            # almost always ``None``, so it gates the compound test.
             if (
-                self.current is ctx
-                and self._desired is not None
+                self._desired is not None
+                and self.current is ctx
                 and self._desired is not ctx
             ):
                 target, self._desired = self._desired, None
@@ -196,7 +198,39 @@ class CPU:
             lanes = tracer is not None and tracer.lanes and tracer.enabled
             began = self.sim.now if lanes else 0
             try:
-                result = yield from self._execute(op, ctx)
+                # Inlined dispatch for the common ops — every yield an
+                # operation makes bubbles through each live generator
+                # frame, so Think/Load/Store/PAL skip the _execute
+                # frame entirely.  _execute stays the single source of
+                # truth for cold ops (fences, collectives, op
+                # subclasses, retry-after-fault).
+                cls = type(op)
+                if cls is Think:
+                    ctx.ops_executed += 1
+                    self.ops_executed += 1
+                    yield max(0, op.ns)
+                    result = None
+                elif cls is Load:
+                    ctx.ops_executed += 1
+                    self.ops_executed += 1
+                    ctx.loads += 1
+                    self.loads += 1
+                    yield timing.cpu_issue_ns
+                    result = yield from self._load(op.vaddr, ctx)
+                elif cls is Store:
+                    ctx.ops_executed += 1
+                    self.ops_executed += 1
+                    ctx.stores += 1
+                    self.stores += 1
+                    yield timing.cpu_issue_ns
+                    yield from self._store(op.vaddr, op.value, ctx)
+                    result = None
+                elif cls is PalSequence:
+                    ctx.ops_executed += 1
+                    self.ops_executed += 1
+                    result = yield from self._execute_pal(op, ctx)
+                else:
+                    result = yield from self._execute(op, ctx)
                 if lanes:
                     tracer.span(
                         "cpu_op", began, node=self.node_id,
@@ -307,12 +341,37 @@ class CPU:
         if self._in_pal:
             raise RuntimeError("nested PAL sequences are not allowed")
         self._in_pal = True
+        timing = self.params.timing
         try:
             result = None
             for op in seq.ops:
-                if isinstance(op, PalSequence):
+                # Same inline dispatch as _interpret: one frame fewer
+                # per yield for the ops PAL sequences are made of.
+                cls = type(op)
+                if cls is Think:
+                    ctx.ops_executed += 1
+                    self.ops_executed += 1
+                    yield max(0, op.ns)
+                    result = None
+                elif cls is Load:
+                    ctx.ops_executed += 1
+                    self.ops_executed += 1
+                    ctx.loads += 1
+                    self.loads += 1
+                    yield timing.cpu_issue_ns
+                    result = yield from self._load(op.vaddr, ctx)
+                elif cls is Store:
+                    ctx.ops_executed += 1
+                    self.ops_executed += 1
+                    ctx.stores += 1
+                    self.stores += 1
+                    yield timing.cpu_issue_ns
+                    yield from self._store(op.vaddr, op.value, ctx)
+                    result = None
+                elif isinstance(op, PalSequence):
                     raise RuntimeError("nested PAL sequences are not allowed")
-                result = yield from self._execute(op, ctx)
+                else:
+                    result = yield from self._execute(op, ctx)
             return result
         finally:
             self._in_pal = False
@@ -325,7 +384,7 @@ class CPU:
 
     def _load(self, vaddr: int, ctx: ProgramContext):
         timing = self.params.timing
-        phys, pte, tlb_hit = self._translate(vaddr, is_write=False)
+        phys, pte, tlb_hit = self.mmu.translate(vaddr, False)
         if not tlb_hit:
             yield from self._walk_penalty()
         decoded = self.amap.decode(phys)
@@ -342,7 +401,7 @@ class CPU:
 
     def _store(self, vaddr: int, value: int, ctx: ProgramContext):
         timing = self.params.timing
-        phys, pte, tlb_hit = self._translate(vaddr, is_write=True)
+        phys, pte, tlb_hit = self.mmu.translate(vaddr, True)
         if not tlb_hit:
             yield from self._walk_penalty()
         decoded = self.amap.decode(phys)

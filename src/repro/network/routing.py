@@ -69,16 +69,51 @@ def tree_path(parent: Dict[object, object], a: object, b: object) -> list:
 
 
 def compute_routes(topo: Topology) -> Dict[object, Dict[int, NextHop]]:
-    """Per-switch routing tables: switch_id -> {dst_host: next_hop}."""
+    """Per-switch routing tables: switch_id -> {dst_host: next_hop}.
+
+    One BFS per *destination switch* over the spanning-tree adjacency:
+    walking outward from the destination, the edge each switch was
+    discovered through is its (unique) next hop toward it, and every
+    host attached to that destination shares the same hop map.  This
+    is O(switches) per distinct destination switch, against the
+    O(hosts x switches x tree depth) of per-pair ancestry walks —
+    the difference between milliseconds and double-digit seconds when
+    building the 1024-node scaling fabrics.  The tables are identical
+    to the pairwise construction's: a tree has exactly one path
+    between any two switches.
+    """
     parent = spanning_tree(topo)
-    tables: Dict[object, Dict[int, NextHop]] = {sw: {} for sw in topo.switch_ids}
-    for dst_host, dst_switch in topo.host_attachment.items():
-        for sw in topo.switch_ids:
-            if sw == dst_switch:
-                tables[sw][dst_host] = ("host", dst_host)
-            else:
-                path = tree_path(parent, sw, dst_switch)
-                tables[sw][dst_host] = ("switch", path[1])
+    adjacency: Dict[object, list] = {sw: [] for sw in topo.switch_ids}
+    for child, par in parent.items():
+        if par != child:
+            adjacency[child].append(par)
+            adjacency[par].append(child)
+    hosts_at: Dict[object, list] = {}
+    for host, switch in topo.host_attachment.items():
+        hosts_at.setdefault(switch, []).append(host)
+    tables: Dict[object, Dict[int, NextHop]] = {
+        sw: {} for sw in topo.switch_ids}
+    for dst_switch, hosts in hosts_at.items():
+        toward: Dict[object, object] = {dst_switch: None}
+        frontier = [dst_switch]
+        while frontier:
+            next_frontier = []
+            for current in frontier:
+                for neighbor in adjacency[current]:
+                    if neighbor not in toward:
+                        toward[neighbor] = current
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        for host in hosts:
+            local = ("host", host)
+            tables[dst_switch][host] = local
+        for sw, hop in toward.items():
+            if hop is None:
+                continue
+            entry = ("switch", hop)
+            table = tables[sw]
+            for host in hosts:
+                table[host] = entry
     return tables
 
 

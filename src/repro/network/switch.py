@@ -104,14 +104,19 @@ class Switch:
         output queue up front.  Wiring errors (a route to a hop with
         no output) therefore surface at build time, not mid-traffic."""
         self._routes = dict(table)
-        self._resolved = {}
-        for dst, hop in self._routes.items():
+        # Resolve each *distinct* hop once (a switch has a handful of
+        # hops but, on a large fabric, thousands of destinations), then
+        # fan the shared (hop, queue) pairs out in one comprehension.
+        resolved_hops = {}
+        for hop in set(self._routes.values()):
             out_queue = self._outputs.get(hop)
             if out_queue is None:
                 raise RuntimeError(
                     f"switch {self.switch_id!r} routed to unwired hop {hop!r}"
                 )
-            self._resolved[dst] = (hop, out_queue)
+            resolved_hops[hop] = (hop, out_queue)
+        self._resolved = {dst: resolved_hops[hop]
+                          for dst, hop in self._routes.items()}
 
     # -- datapath -----------------------------------------------------------
 

@@ -10,7 +10,7 @@ that: single-switch star, chain, ring, and 2-D mesh.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 
 class Topology:
@@ -26,6 +26,8 @@ class Topology:
         self.host_attachment: Dict[int, object] = {}
         self.switch_ids: List[object] = []
         self.switch_edges: Set[Tuple[object, object]] = set()
+        #: (edge count, adjacency) pair backing :meth:`neighbors`.
+        self._neighbor_cache: Optional[Tuple[int, Dict[object, List[object]]]] = None
 
     # -- construction -------------------------------------------------
 
@@ -60,13 +62,17 @@ class Topology:
         return sorted(self.host_attachment)
 
     def neighbors(self, switch_id: object) -> List[object]:
-        out = []
-        for a, b in sorted(self.switch_edges, key=repr):
-            if a == switch_id:
-                out.append(b)
-            elif b == switch_id:
-                out.append(a)
-        return out
+        # The full adjacency is built once per edge population (edges
+        # are only ever added) instead of re-sorting every edge per
+        # query — route computation asks for neighbors of every switch.
+        cache = self._neighbor_cache
+        if cache is None or cache[0] != len(self.switch_edges):
+            adjacency: Dict[object, List[object]] = {}
+            for a, b in sorted(self.switch_edges, key=repr):
+                adjacency.setdefault(a, []).append(b)
+                adjacency.setdefault(b, []).append(a)
+            cache = self._neighbor_cache = (len(self.switch_edges), adjacency)
+        return list(cache[1].get(switch_id, ()))
 
     def hosts_on(self, switch_id: object) -> List[int]:
         return sorted(

@@ -78,7 +78,11 @@ class EventLoopProfiler(KernelHooks):
 
     def on_schedule(self, sim, time_ns: int, fn: Callable) -> None:
         self.events_scheduled += 1
-        depth = len(sim._heap)
+        # Pending events across both queue tiers (the bucket calendar
+        # and the binary heap); pre-bucket kernels expose only _heap.
+        depth = getattr(sim, "pending_events", None)
+        if depth is None:
+            depth = len(sim._heap)
         if depth > self.max_heap_depth:
             self.max_heap_depth = depth
 

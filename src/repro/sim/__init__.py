@@ -29,8 +29,30 @@ from repro.sim.kernel import (
     Waitable,
 )
 from repro.sim.queues import BoundedQueue, QueueClosed
+from repro.sim.refkernel import ReferenceSimulator
 from repro.sim.timers import Timer
 from repro.sim.trace import Accumulator, Tracer
+
+#: Selectable kernel implementations (``ClusterConfig.kernel``).
+KERNELS = ("bucket", "reference")
+
+
+def make_simulator(kernel: str = "bucket") -> Simulator:
+    """Build an event-loop kernel by name.
+
+    ``"bucket"`` is the production tiered kernel (immediate list +
+    calendar buckets + binary heap); ``"reference"`` is the pure-heap
+    per-event oracle used for differential testing.  Both expose the
+    identical :class:`Simulator` API and the identical ``(time, seq)``
+    dispatch order.
+    """
+    if kernel == "bucket":
+        return Simulator()
+    if kernel == "reference":
+        return ReferenceSimulator()
+    raise ValueError(
+        f"unknown kernel {kernel!r}; expected one of {list(KERNELS)}")
+
 
 __all__ = [
     "Accumulator",
@@ -38,13 +60,16 @@ __all__ = [
     "Delay",
     "EventHandle",
     "Future",
+    "KERNELS",
     "READY",
     "Ready",
+    "ReferenceSimulator",
     "Interrupt",
     "Process",
     "QueueClosed",
     "SimulationDeadlock",
     "Simulator",
+    "make_simulator",
     "Timer",
     "Tracer",
     "Waitable",

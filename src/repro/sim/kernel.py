@@ -22,26 +22,39 @@ the mechanism used to model CPU preemption.
 
 Fast-path design (see DESIGN.md, "Kernel internals"):
 
-- Heap entries are plain ``(time, seq, fn, args)`` tuples; ``seq`` is
-  unique, so heap comparisons are resolved by C tuple comparison
-  without ever calling back into Python.
-- Cancellable events (the :meth:`Simulator.schedule` API) ride the
-  same heap as ``(time, seq, None, handle)`` — the ``None`` callback
-  marks the slot as carrying an :class:`EventHandle`.  Cancellation is
-  an O(1) tombstone; the heap is compacted in place once tombstones
-  dominate, so cancel-heavy workloads (retransmission timers) cannot
-  grow the heap without bound.
+- Pending events live in a **two-tier queue**.  The near-future tier
+  is a calendar of per-timestamp buckets (``{time: [entry, ...]}``
+  plus a min-heap of the *distinct* times): the common FIFO-link
+  insert at ``now + link_ns`` costs a dict hit and a list append, and
+  N events sharing a timestamp cost one time-heap push instead of N
+  entry-heap pushes.  Cancellable events (:meth:`Simulator.schedule`)
+  and posts beyond :attr:`Simulator.bucket_horizon` fall back to a
+  classic binary heap of ``(time, seq, fn, args)`` tuples.
+- ``seq`` is unique and global across both tiers, so merging a bucket
+  with same-time heap entries is a C-speed tuple sort and execution
+  order stays the exact ``(time, seq)`` order of a pure heap —
+  :mod:`repro.sim.refkernel` is that pure heap, kept as a differential
+  reference (``tests/sim/test_kernel_equivalence.py``).
+- Heap events cancel as O(1) tombstones; the heap is compacted in
+  place once tombstones dominate, so cancel-heavy workloads
+  (retransmission timers) cannot grow the heap without bound.  Bucket
+  entries are never cancellable, which is what keeps the bucket drain
+  loop free of tombstone tests.
 - Internal wakeups go through :meth:`Simulator._post`, which returns
   no handle and performs no validation — the common ``yield ns`` costs
-  one tuple push, no :class:`Future`, no handle, no closure.
-- :meth:`Simulator.run` dispatches to a bounds-free loop when no
-  ``until``/``max_events``/hooks are active, batching same-timestamp
-  events back-to-back with zero per-event bookkeeping.
+  one tuple append, no :class:`Future`, no handle, no closure.
+- Every run loop **batch-dispatches**: it removes the whole run of
+  events sharing the next timestamp in one pass and fires them
+  back-to-back, amortizing queue traffic, ``now`` updates, and bound
+  checks across the batch.  Events posted *during* a batch at the same
+  instant (delay-0 wakeups) form the next batch; their ``seq`` is
+  necessarily higher, so ordering is unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import (
     Any,
     Callable,
@@ -152,7 +165,21 @@ class Waitable:
             self._callbacks = None
             for cb in callbacks:
                 if type(cb) is tuple:
-                    cb[0]._wake(cb[1], value, exception)
+                    # Inlined Process._wake — completion is the hot
+                    # resumption trigger: epoch-check the waiter and
+                    # post its wakeup at ``now`` (the immediate tier).
+                    process, epoch = cb
+                    if process._wait_epoch != epoch or process._done:
+                        continue  # stale wakeup
+                    sim = process.sim
+                    seq = sim._seq
+                    sim._seq = seq + 1
+                    sim._now_list.append(
+                        (sim.now, seq, process._step_if_epoch,
+                         (epoch, value, exception)))
+                    if sim.hooks is not None:
+                        sim.hooks.on_schedule(
+                            sim, sim.now, process._step_if_epoch)
                 else:
                     cb(value, exception)
 
@@ -168,7 +195,31 @@ class Future(Waitable):
     __slots__ = ()
 
     def set_result(self, value: Any = None) -> None:
-        self._complete(value, None)
+        # Inlined _complete (single-waiter completions are the hot
+        # path of every queue handoff and blocking read).
+        if self._done:
+            raise RuntimeError("waitable completed twice")
+        self._done = True
+        self._value = value
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for cb in callbacks:
+                if type(cb) is tuple:
+                    process, epoch = cb
+                    if process._wait_epoch != epoch or process._done:
+                        continue  # stale wakeup
+                    sim = process.sim
+                    seq = sim._seq
+                    sim._seq = seq + 1
+                    sim._now_list.append(
+                        (sim.now, seq, process._step_if_epoch,
+                         (epoch, value, None)))
+                    if sim.hooks is not None:
+                        sim.hooks.on_schedule(
+                            sim, sim.now, process._step_if_epoch)
+                else:
+                    cb(value, None)
 
     def set_exception(self, exception: BaseException) -> None:
         self._complete(None, exception)
@@ -262,9 +313,23 @@ class Process(Waitable):
         self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:
+        # Exact-type tests first: almost every yield is a bare int
+        # delay or a Waitable, so the common commands resolve in one
+        # or two checks.  The isinstance fallbacks keep the historical
+        # semantics for floats, bools, and int/float subclasses.
         sim = self.sim
         epoch = self._wait_epoch
-        if command is None:
+        if type(command) is int:
+            if command < 0:
+                self._finish(
+                    None, ValueError(f"negative delay {command!r} yielded by {self.name}")
+                )
+                return
+            sim._post(command, self._step_if_epoch, (epoch, None, None))
+        elif isinstance(command, Waitable):
+            self._waiting_on = command
+            command._add_waiter(self, epoch)
+        elif command is None:
             sim._post(0, self._step_if_epoch, (epoch, None, None))
         elif isinstance(command, (int, float)):
             if command < 0:
@@ -275,9 +340,6 @@ class Process(Waitable):
             sim._post(int(command), self._step_if_epoch, (epoch, None, None))
         elif isinstance(command, Delay):
             sim._post(command.ns, self._step_if_epoch, (epoch, None, None))
-        elif isinstance(command, Waitable):
-            self._waiting_on = command
-            command._add_waiter(self, epoch)
         else:
             self._finish(
                 None,
@@ -292,7 +354,15 @@ class Process(Waitable):
         """Completion notification from a waitable this process yielded on."""
         if self._wait_epoch != epoch or self._done:
             return  # stale wakeup (process was interrupted away)
-        self.sim._post(0, self._step_if_epoch, (epoch, value, exception))
+        # Inlined delay-0 _post (a wakeup always lands at ``now``, the
+        # immediate tier) — this is the hot completion path.
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        sim._now_list.append(
+            (sim.now, seq, self._step_if_epoch, (epoch, value, exception)))
+        if sim.hooks is not None:
+            sim.hooks.on_schedule(sim, sim.now, self._step_if_epoch)
 
     def _step_if_epoch(
         self, epoch: int, value: Any, exception: Optional[BaseException]
@@ -302,9 +372,78 @@ class Process(Waitable):
         # ordering deterministic when many waiters complete at the same
         # instant.  The epoch check drops wakeups that were overtaken
         # by an interrupt delivered at the same instant.
+        #
+        # This is the hot resumption path (every ``yield ns`` and every
+        # waitable completion lands here), so the step/send/dispatch
+        # chain is fused into one frame; :meth:`_step` remains the
+        # entry for cold starts and interrupt delivery.
         if self._wait_epoch != epoch or self._done:
             return
-        self._step(value, exception)
+        self._waiting_on = None
+        self._wait_epoch += 1
+        gen = self._gen
+        try:
+            if exception is not None:
+                command = gen.throw(exception)
+            else:
+                command = gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except Interrupt as intr:
+            self._finish(intr.cause, None)
+            return
+        except Exception as err:
+            self._finish(None, err)
+            return
+        if type(command) is int and command >= 0:
+            # Inlined _post: ``yield ns`` is the single hottest command.
+            sim = self.sim
+            seq = sim._seq
+            sim._seq = seq + 1
+            time = sim.now + command
+            entry = (time, seq, self._step_if_epoch,
+                     (self._wait_epoch, None, None))
+            if command == 0:
+                sim._now_list.append(entry)
+            elif command <= sim.bucket_horizon:
+                bucket = sim._buckets.get(time)
+                if bucket is None:
+                    sim._buckets[time] = [entry]
+                    _heappush(sim._times, time)
+                else:
+                    bucket.append(entry)
+            else:
+                _heappush(sim._heap, entry)
+            if sim.hooks is not None:
+                sim.hooks.on_schedule(sim, time, self._step_if_epoch)
+        elif isinstance(command, Waitable):
+            if command._done:
+                # Done token (e.g. READY): resume directly instead of
+                # routing through _add_waiter -> _wake.
+                sim = self.sim
+                seq = sim._seq
+                sim._seq = seq + 1
+                sim._now_list.append(
+                    (sim.now, seq, self._step_if_epoch,
+                     (self._wait_epoch, command._value,
+                      command._exception)))
+                if sim.hooks is not None:
+                    sim.hooks.on_schedule(sim, sim.now,
+                                          self._step_if_epoch)
+            else:
+                # Inlined Waitable._add_waiter (not-done branch).
+                self._waiting_on = command
+                callbacks = command._callbacks
+                if callbacks is None:
+                    command._callbacks = [(self, self._wait_epoch)]
+                else:
+                    callbacks.append((self, self._wait_epoch))
+        elif command is None:
+            self.sim._post(0, self._step_if_epoch,
+                           (self._wait_epoch, None, None))
+        else:
+            self._dispatch(command)
 
     def _finish(self, value: Any, exception: Optional[BaseException]) -> None:
         self.sim._live_processes.discard(self)
@@ -396,9 +535,31 @@ class Simulator:
     #: Tombstone floor below which compaction is never attempted.
     _COMPACT_MIN = 64
 
+    #: Default near-future window (ns) for the bucket tier: a
+    #: :meth:`_post` landing within ``now + bucket_horizon`` goes to a
+    #: per-timestamp bucket, a farther one to the binary heap (a
+    #: far-future time rarely repeats, so a bucket would buy nothing).
+    #: Fabric wiring widens this at install time to cover the slowest
+    #: single-packet traversal (see :class:`repro.network.Fabric`).
+    DEFAULT_BUCKET_HORIZON = 1 << 14
+
     def __init__(self) -> None:
         self.now: int = 0
+        #: Far-future/cancellable tier: a classic binary event heap.
         self._heap: List[_HeapEntry] = []
+        #: Near-future tier: per-timestamp buckets plus a min-heap of
+        #: the distinct bucket times.  Invariant: ``_times`` holds
+        #: exactly the keys of ``_buckets``, each once.
+        self._buckets: dict = {}
+        self._times: List[int] = []
+        #: Immediate tier: events posted with delay 0 land at exactly
+        #: ``now`` and are drained before either other tier, skipping
+        #: the bucket dict and the time-heap entirely.  Invariant: all
+        #: entries are at time ``now`` (enforced by flushing to the
+        #: heap whenever the loop would move ``now`` past them).
+        #: Never rebound — the run loops hold a direct reference.
+        self._now_list: list = []
+        self.bucket_horizon: int = self.DEFAULT_BUCKET_HORIZON
         self._seq = 0
         self._cancelled = 0
         self._live_processes: set = set()
@@ -415,14 +576,19 @@ class Simulator:
 
     def schedule(self, delay: Union[int, float], fn: Callable[..., None],
                  *args: Any) -> EventHandle:
-        """Run ``fn(*args)`` after ``delay`` nanoseconds (cancellable)."""
+        """Run ``fn(*args)`` after ``delay`` nanoseconds (cancellable).
+
+        Cancellable events always ride the binary heap: cancellation
+        is a tombstone there, and keeping tombstones out of the bucket
+        tier is what keeps bucket dispatch test-free.
+        """
         if delay < 0:
             raise ValueError("cannot schedule into the past")
         time = self.now + int(delay)
         seq = self._seq
         self._seq = seq + 1
         handle = EventHandle(self, time, seq, fn, args)
-        heapq.heappush(self._heap, (time, seq, None, handle))
+        _heappush(self._heap, (time, seq, None, handle))
         if self.hooks is not None:
             self.hooks.on_schedule(self, time, fn)
         return handle
@@ -433,13 +599,26 @@ class Simulator:
 
         For internal wakeups whose delay is already known non-negative
         and which are never cancelled (process resumptions, pipeline
-        stage advances).  Costs one tuple push.
+        stage advances).  Within the bucket horizon this costs a dict
+        hit and a list append; only the first event at a new timestamp
+        pays a (time-heap) push.
         """
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._heap, (self.now + delay, seq, fn, args))
+        time = self.now + delay
+        if delay == 0:
+            self._now_list.append((time, seq, fn, args))
+        elif delay <= self.bucket_horizon:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [(time, seq, fn, args)]
+                _heappush(self._times, time)
+            else:
+                bucket.append((time, seq, fn, args))
+        else:
+            _heappush(self._heap, (time, seq, fn, args))
         if self.hooks is not None:
-            self.hooks.on_schedule(self, self.now + delay, fn)
+            self.hooks.on_schedule(self, time, fn)
 
     def schedule_at(self, time: int, fn: Callable[..., None],
                     *args: Any) -> EventHandle:
@@ -481,13 +660,141 @@ class Simulator:
         In place because the run loops hold a reference to the heap
         list; rebinding ``self._heap`` would detach them.  Ordering is
         unaffected: the heap invariant is rebuilt over the same
-        ``(time, seq, ...)`` tuples.
+        ``(time, seq, ...)`` tuples.  Bucket entries are never
+        cancellable, so compaction touches only the heap tier.
         """
         live = [entry for entry in self._heap
                 if entry[2] is not None or not entry[3].cancelled]
         self._heap[:] = live
         heapq.heapify(self._heap)
         self._cancelled = 0
+
+    # -- queue introspection ----------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        """Events waiting in all tiers (heap tombstones included, as
+        they occupy real slots until compaction)."""
+        return (len(self._heap) + len(self._now_list)
+                + sum(map(len, self._buckets.values())))
+
+    def _peek_time(self) -> Optional[int]:
+        """Earliest pending timestamp across all tiers, or ``None``.
+
+        May name a time holding only tombstones; callers use it solely
+        for bound checks (every live event is at or after it).
+        """
+        best: Optional[int] = self.now if self._now_list else None
+        if self._times:
+            time = self._times[0]
+            if best is None or time < best:
+                best = time
+        heap = self._heap
+        if heap:
+            time = heap[0][0]
+            if best is None or time < best:
+                best = time
+        return best
+
+    # -- batch collection --------------------------------------------------
+
+    def _drain_heap_run(self, time: int) -> Optional[list]:
+        """Pop every heap entry at ``time``, dropping tombstones.
+
+        Returns the seq-ordered live entries, or ``None`` when the run
+        was tombstones throughout.  Live ``EventHandle`` slots stay
+        wrapped: a handle may still be cancelled by an earlier event in
+        the same batch, so the dispatch loops re-check at fire time.
+        """
+        heap = self._heap
+        out = []
+        while heap and heap[0][0] == time:
+            entry = _heappop(heap)
+            if entry[2] is None and entry[3].cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
+                continue
+            out.append(entry)
+        return out or None
+
+    def _take_batch(self) -> Optional[Tuple[int, list, bool]]:
+        """Remove and return the next same-timestamp run of events.
+
+        Returns ``(time, batch, has_handles)`` — ``batch`` seq-ordered,
+        ``has_handles`` true when entries may need handle unwrapping —
+        or ``None`` when nothing is pending.  When a timestamp has
+        events in both tiers the runs are merged with a tuple sort:
+        ``seq`` is unique, so the sort is a pure C merge and the result
+        is the exact order a single heap would have produced.
+        """
+        times = self._times
+        heap = self._heap
+        now_list = self._now_list
+        if now_list:
+            time = self.now
+            if ((not heap or heap[0][0] > time)
+                    and (not times or times[0] > time)):
+                batch = now_list.copy()
+                now_list.clear()
+                return time, batch, False
+            if (heap and heap[0][0] == time
+                    and (not times or times[0] > time)):
+                batch = now_list.copy()
+                now_list.clear()
+                run = self._drain_heap_run(time)
+                if run is None:
+                    return time, batch, False
+                run += batch
+                run.sort()
+                return time, run, True
+            # A tier holds an earlier (or equal-time bucket) batch:
+            # flush the immediate tier to the heap — entries keep
+            # their (time, seq), so the generic merge below preserves
+            # the exact total order.  Reached only when ``now`` was
+            # moved without dispatch (an ``until`` bound) or events
+            # were pushed back at ``now``.
+            self._push_back(now_list)
+            now_list.clear()
+        while True:
+            if times:
+                time = times[0]
+                if heap:
+                    heap_time = heap[0][0]
+                    if heap_time < time:
+                        batch = self._drain_heap_run(heap_time)
+                        if batch is None:
+                            continue
+                        return heap_time, batch, True
+                    if heap_time == time:
+                        _heappop(times)
+                        bucket = self._buckets.pop(time)
+                        run = self._drain_heap_run(time)
+                        if run is None:
+                            return time, bucket, False
+                        run += bucket
+                        run.sort()
+                        return time, run, True
+                _heappop(times)
+                return time, self._buckets.pop(time), False
+            if heap:
+                batch = self._drain_heap_run(heap[0][0])
+                if batch is None:
+                    continue
+                return batch[0][0], batch, True
+            return None
+
+    def _push_back(self, entries: Iterable[_HeapEntry]) -> None:
+        """Return not-yet-executed batch entries to the queue.
+
+        Used when a bound (``max_events``, a completed join, an
+        exception) stops a run mid-batch.  Entries keep their original
+        ``(time, seq)``, so re-insertion into the heap tier — whichever
+        tier they came from — preserves exact ordering; the next batch
+        at that timestamp re-merges them.
+        """
+        heap = self._heap
+        for entry in entries:
+            _heappush(heap, entry)
 
     # -- execution ---------------------------------------------------------
 
@@ -509,65 +816,180 @@ class Simulator:
         else:
             executed = self._run_bounded(until, max_events)
         if until is not None and self.now < until:
+            if self._now_list:
+                # Keep the immediate tier's all-at-``now`` invariant:
+                # entries stranded by a bound move to the heap before
+                # ``now`` jumps past them.
+                self._push_back(self._now_list)
+                self._now_list.clear()
             self.now = until
-        if check_deadlock and not self._heap:
+        if (check_deadlock and not self._heap and not self._buckets
+                and not self._now_list):
             blocked = [p for p in self._live_processes if not p.done]
             if blocked:
                 raise SimulationDeadlock(blocked)
         return executed
 
     def _run_fast(self) -> int:
-        """Drain the heap with zero per-event bound checks."""
+        """Drain both tiers with zero per-event bound checks.
+
+        Batch dispatch: each pass removes the whole run of events at
+        the next timestamp and fires them back-to-back.  Pure-bucket
+        batches (the common case) skip handle unwrapping entirely.  On
+        an exception the not-yet-fired tail of the batch is pushed
+        back, so a failed run leaves every unexecuted event queued.
+        """
         heap = self._heap
-        pop = heapq.heappop
+        times = self._times
+        buckets = self._buckets
+        now_list = self._now_list
+        take = self._take_batch
         failures = self._failures
+        strict = self.strict_failures
+        now = self.now
         executed = 0
         try:
-            while heap:
-                time, _seq, fn, args = pop(heap)
-                if fn is None:
-                    handle = args
-                    if handle.cancelled:
-                        self._cancelled -= 1
+            while True:
+                # Inline fast paths.  First the immediate tier: events
+                # at exactly ``now``, dispatched without touching the
+                # time-heap at all.  Then the bucket tier when the next
+                # timestamp lives only there (no heap entry at or
+                # before it) — no tombstone tests or seq merging.
+                if now_list:
+                    if ((not heap or heap[0][0] > now)
+                            and (not times or times[0] > now)):
+                        if len(now_list) == 1:
+                            entry = now_list[0]
+                            now_list.clear()
+                            entry[2](*entry[3])
+                            executed += 1
+                            if failures and strict:
+                                self._raise_failure()
+                            continue
+                        batch = now_list.copy()
+                        now_list.clear()
+                        tail = iter(batch)
+                        try:
+                            for _t, _s, fn, args in tail:
+                                fn(*args)
+                                executed += 1
+                                if failures and strict:
+                                    self._raise_failure()
+                        except BaseException:
+                            self._push_back(tail)
+                            raise
                         continue
-                    handle.cancelled = True
-                    fn = handle.fn
-                    args = handle.args
-                self.now = time
-                fn(*args)
-                executed += 1
-                if failures and self.strict_failures:
-                    self._raise_failure()
+                elif times and (not heap or times[0] < heap[0][0]):
+                    time = _heappop(times)
+                    batch = buckets.pop(time)
+                    self.now = now = time
+                    if len(batch) == 1:
+                        entry = batch[0]
+                        entry[2](*entry[3])
+                        executed += 1
+                        if failures and strict:
+                            self._raise_failure()
+                        continue
+                    tail = iter(batch)
+                    try:
+                        for _t, _s, fn, args in tail:
+                            fn(*args)
+                            executed += 1
+                            if failures and strict:
+                                self._raise_failure()
+                    except BaseException:
+                        self._push_back(tail)
+                        raise
+                    continue
+                item = take()
+                if item is None:
+                    break
+                time, batch, has_handles = item
+                self.now = now = time
+                tail = iter(batch)
+                try:
+                    if has_handles:
+                        for _t, _s, fn, args in tail:
+                            if fn is None:
+                                handle = args
+                                if handle.cancelled:
+                                    if self._cancelled > 0:
+                                        self._cancelled -= 1
+                                    continue
+                                handle.cancelled = True
+                                fn = handle.fn
+                                args = handle.args
+                            fn(*args)
+                            executed += 1
+                            if failures and self.strict_failures:
+                                self._raise_failure()
+                    else:
+                        for _t, _s, fn, args in tail:
+                            fn(*args)
+                            executed += 1
+                            if failures and self.strict_failures:
+                                self._raise_failure()
+                except BaseException:
+                    self._push_back(tail)
+                    raise
         finally:
             self.events_executed += executed
         return executed
 
     def _run_bounded(self, until: Optional[int],
                      max_events: Optional[int]) -> int:
-        heap = self._heap
-        pop = heapq.heappop
+        """Batch dispatch under bounds.
+
+        The ``until`` test runs per batch (a batch shares one
+        timestamp); ``max_events`` is a per-event countdown, and a
+        mid-batch stop pushes the unexecuted tail back into the queue.
+        """
         failures = self._failures
         executed = 0
+        remaining = max_events if max_events is not None else -1
         try:
-            while heap:
-                if max_events is not None and executed >= max_events:
+            while remaining != 0:
+                next_time = self._peek_time()
+                if next_time is None:
                     break
-                if until is not None and heap[0][0] > until:
+                if until is not None and next_time > until:
                     break
-                time, _seq, fn, args = pop(heap)
-                if fn is None:
-                    handle = args
-                    if handle.cancelled:
-                        self._cancelled -= 1
-                        continue
-                    handle.cancelled = True
-                    fn = handle.fn
-                    args = handle.args
+                item = self._take_batch()
+                if item is None:
+                    break
+                time, batch, _has_handles = item
+                if until is not None and time > until:
+                    # _peek_time saw a tombstone inside the bound; the
+                    # real next batch is outside it.
+                    self._push_back(batch)
+                    break
                 self.now = time
-                fn(*args)
-                executed += 1
-                if failures and self.strict_failures:
-                    self._raise_failure()
+                tail = iter(batch)
+                try:
+                    for entry in tail:
+                        if remaining == 0:
+                            self._push_back((entry,))
+                            self._push_back(tail)
+                            break
+                        fn = entry[2]
+                        args = entry[3]
+                        if fn is None:
+                            handle = args
+                            if handle.cancelled:
+                                if self._cancelled > 0:
+                                    self._cancelled -= 1
+                                continue
+                            handle.cancelled = True
+                            fn = handle.fn
+                            args = handle.args
+                        fn(*args)
+                        executed += 1
+                        remaining -= 1
+                        if failures and self.strict_failures:
+                            self._raise_failure()
+                except BaseException:
+                    self._push_back(tail)
+                    raise
         finally:
             self.events_executed += executed
         return executed
@@ -575,31 +997,52 @@ class Simulator:
     def _run_hooked(self, until: Optional[int],
                     max_events: Optional[int]) -> int:
         """The instrumented loop: identical semantics, plus hooks."""
-        heap = self._heap
         hooks = self.hooks
         executed = 0
+        remaining = max_events if max_events is not None else -1
         hooks.on_run_start(self)
         try:
-            while heap:
-                if max_events is not None and executed >= max_events:
+            while remaining != 0:
+                next_time = self._peek_time()
+                if next_time is None:
                     break
-                if until is not None and heap[0][0] > until:
+                if until is not None and next_time > until:
                     break
-                time, _seq, fn, args = heapq.heappop(heap)
-                if fn is None:
-                    handle = args
-                    if handle.cancelled:
-                        self._cancelled -= 1
-                        continue
-                    handle.cancelled = True
-                    fn = handle.fn
-                    args = handle.args
+                item = self._take_batch()
+                if item is None:
+                    break
+                time, batch, _has_handles = item
+                if until is not None and time > until:
+                    self._push_back(batch)
+                    break
                 self.now = time
-                fn(*args)
-                executed += 1
-                hooks.on_execute(self, time, fn)
-                if self._failures and self.strict_failures:
-                    self._raise_failure()
+                tail = iter(batch)
+                try:
+                    for entry in tail:
+                        if remaining == 0:
+                            self._push_back((entry,))
+                            self._push_back(tail)
+                            break
+                        fn = entry[2]
+                        args = entry[3]
+                        if fn is None:
+                            handle = args
+                            if handle.cancelled:
+                                if self._cancelled > 0:
+                                    self._cancelled -= 1
+                                continue
+                            handle.cancelled = True
+                            fn = handle.fn
+                            args = handle.args
+                        fn(*args)
+                        executed += 1
+                        remaining -= 1
+                        hooks.on_execute(self, time, fn)
+                        if self._failures and self.strict_failures:
+                            self._raise_failure()
+                except BaseException:
+                    self._push_back(tail)
+                    raise
         finally:
             hooks.on_run_end(self, executed)
             self.events_executed += executed
@@ -640,7 +1083,8 @@ class Simulator:
             # Instrumented path: preserve the historical per-event
             # run() cadence the profiler hooks observe.
             while pending[0]:
-                if not self._heap:
+                if (not self._heap and not self._buckets
+                        and not self._now_list):
                     raise SimulationDeadlock(
                         [p for p in targets if not p.done])
                 if limit_ns is not None and self.now > limit_ns:
@@ -649,30 +1093,126 @@ class Simulator:
             return
 
         heap = self._heap
-        pop = heapq.heappop
+        times = self._times
+        buckets = self._buckets
+        now_list = self._now_list
+        take = self._take_batch
         failures = self._failures
+        strict = self.strict_failures
+        # Local mirror of self.now for the loop's bound checks; kept in
+        # sync at every assignment (dispatched fns never move ``now``).
+        now = self.now
         executed = 0
         try:
             while pending[0]:
-                if not heap:
+                # Inline fast paths (immediate tier, then bucket-only
+                # timestamps), mirroring _run_fast plus the limit and
+                # completion checks.
+                if now_list:
+                    if ((not heap or heap[0][0] > now)
+                            and (not times or times[0] > now)):
+                        if limit_ns is not None and now > limit_ns:
+                            self._raise_run_timeout(targets)
+                        if len(now_list) == 1:
+                            entry = now_list[0]
+                            now_list.clear()
+                            entry[2](*entry[3])
+                            executed += 1
+                            if failures and strict:
+                                self._raise_failure()
+                            continue
+                        batch = now_list.copy()
+                        now_list.clear()
+                        tail = iter(batch)
+                        try:
+                            for _t, _s, fn, args in tail:
+                                fn(*args)
+                                executed += 1
+                                if failures and strict:
+                                    self._raise_failure()
+                                if not pending[0]:
+                                    # Stop exactly at the completing
+                                    # event: the rest of the batch
+                                    # stays queued.
+                                    self._push_back(tail)
+                                    break
+                        except BaseException:
+                            self._push_back(tail)
+                            raise
+                        continue
+                elif times and (not heap or times[0] < heap[0][0]):
+                    if limit_ns is not None and now > limit_ns:
+                        self._raise_run_timeout(targets)
+                    time = _heappop(times)
+                    batch = buckets.pop(time)
+                    self.now = now = time
+                    if len(batch) == 1:
+                        entry = batch[0]
+                        entry[2](*entry[3])
+                        executed += 1
+                        if failures and strict:
+                            self._raise_failure()
+                        continue
+                    tail = iter(batch)
+                    try:
+                        for _t, _s, fn, args in tail:
+                            fn(*args)
+                            executed += 1
+                            if failures and strict:
+                                self._raise_failure()
+                            if not pending[0]:
+                                # Stop exactly at the completing event:
+                                # the rest of the batch stays queued.
+                                self._push_back(tail)
+                                break
+                    except BaseException:
+                        self._push_back(tail)
+                        raise
+                    continue
+                if not heap and not buckets and not now_list:
                     raise SimulationDeadlock(
                         [p for p in targets if not p.done])
-                if limit_ns is not None and self.now > limit_ns:
+                if limit_ns is not None and now > limit_ns:
                     self._raise_run_timeout(targets)
-                time, _seq, fn, args = pop(heap)
-                if fn is None:
-                    handle = args
-                    if handle.cancelled:
-                        self._cancelled -= 1
-                        continue
-                    handle.cancelled = True
-                    fn = handle.fn
-                    args = handle.args
-                self.now = time
-                fn(*args)
-                executed += 1
-                if failures and self.strict_failures:
-                    self._raise_failure()
+                item = take()
+                if item is None:
+                    # Only tombstones were left.
+                    raise SimulationDeadlock(
+                        [p for p in targets if not p.done])
+                time, batch, has_handles = item
+                self.now = now = time
+                tail = iter(batch)
+                try:
+                    if has_handles:
+                        for _t, _s, fn, args in tail:
+                            if fn is None:
+                                handle = args
+                                if handle.cancelled:
+                                    if self._cancelled > 0:
+                                        self._cancelled -= 1
+                                    continue
+                                handle.cancelled = True
+                                fn = handle.fn
+                                args = handle.args
+                            fn(*args)
+                            executed += 1
+                            if failures and self.strict_failures:
+                                self._raise_failure()
+                            if not pending[0]:
+                                self._push_back(tail)
+                                break
+                    else:
+                        for _t, _s, fn, args in tail:
+                            fn(*args)
+                            executed += 1
+                            if failures and self.strict_failures:
+                                self._raise_failure()
+                            if not pending[0]:
+                                self._push_back(tail)
+                                break
+                except BaseException:
+                    self._push_back(tail)
+                    raise
         finally:
             self.events_executed += executed
 

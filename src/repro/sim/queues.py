@@ -77,12 +77,16 @@ class BoundedQueue:
         if self._getters and not self._items:
             # Hand the item straight to the oldest waiting getter.
             getter = self._getters.popleft()
-            self._account_put()
+            self.total_puts += 1
             getter.set_result(item)
             return READY
         if len(self._items) < self.capacity:
+            # _account_put inlined (put is on the per-packet hot path).
             self._items.append(item)
-            self._account_put()
+            self.total_puts += 1
+            occupancy = len(self._items)
+            if occupancy > self.max_occupancy:
+                self.max_occupancy = occupancy
             return READY
         future = Future()
         self._putters.append((future, item))

@@ -1,0 +1,194 @@
+"""The reference kernel: a pure binary-heap event loop.
+
+:class:`ReferenceSimulator` is the differential-testing oracle for the
+tiered production kernel (:class:`~repro.sim.kernel.Simulator`).  It
+keeps the exact queue discipline the repository shipped before the
+calendar-queue rewrite: one binary heap ordered by ``(time, seq)``, one
+event popped and dispatched per loop iteration, every bound
+(``until``, ``max_events``, ``limit_ns``, deadlock) checked per event.
+
+Because both kernels share :class:`~repro.sim.kernel.Process`,
+:class:`~repro.sim.kernel.Future` and the ``(time, seq)`` total order,
+any ordering divergence between them is a bug in the tiered kernel's
+batch collection — which is precisely what
+``tests/sim/test_kernel_equivalence.py`` exploits: the same workload is
+run under both and the dispatch sequences must match byte for byte.
+
+Two implementation notes:
+
+- The hot resumption paths fused into ``Process``/``Future`` append
+  delay-0 events straight onto ``sim._now_list`` and bucket-horizon
+  events into ``sim._buckets``.  The reference loop funnels both into
+  the heap before every pop (``bucket_horizon`` is set to ``-1`` so the
+  bucket branch never triggers; the ``_now_list`` appends are drained by
+  :meth:`_flush_tiers`).  Entries keep their ``(time, seq)``, so the
+  heap reproduces the exact total order.
+- No batch collection happens anywhere: this file must stay a
+  pop-one-dispatch-one loop.  Do not "optimise" it to share code with
+  the production kernel — its value is being independent of the code it
+  checks.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.sim.kernel import Process, SimulationDeadlock, Simulator
+
+
+class ReferenceSimulator(Simulator):
+    """Single-heap, per-event-dispatch oracle kernel.
+
+    API-identical to :class:`Simulator`; selected through
+    ``ClusterConfig(kernel="reference")`` or
+    :func:`repro.sim.make_simulator`.
+    """
+
+    # Disable the bucket tier for every producer that tests
+    # ``delay <= bucket_horizon`` (including the fused fast paths
+    # inlined into Process._step_if_epoch): -1 rejects all delays, so
+    # positive-delay posts go straight to the heap.  Writes (the base
+    # __init__, Fabric's install-time widening) are swallowed — the
+    # reference kernel has no bucket tier to tune.
+    @property
+    def bucket_horizon(self) -> int:
+        return -1
+
+    @bucket_horizon.setter
+    def bucket_horizon(self, value: int) -> None:
+        pass
+
+    # -- scheduling -------------------------------------------------------
+
+    def _post(self, delay: int, fn: Callable[..., None],
+              args: Tuple[Any, ...] = ()) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        time = self.now + delay
+        _heappush(self._heap, (time, seq, fn, args))
+        if self.hooks is not None:
+            self.hooks.on_schedule(self, time, fn)
+
+    # -- queue maintenance ------------------------------------------------
+
+    def _flush_tiers(self) -> None:
+        """Funnel entries the fused producer paths left in the
+        immediate/bucket tiers into the heap.
+
+        Entries keep their original ``(time, seq)`` keys, so the heap
+        order equals the order a single-heap producer would have built.
+        """
+        now_list = self._now_list
+        heap = self._heap
+        if now_list:
+            for entry in now_list:
+                _heappush(heap, entry)
+            now_list.clear()
+        times = self._times
+        if times:
+            buckets = self._buckets
+            while times:
+                for entry in buckets.pop(_heappop(times)):
+                    _heappush(heap, entry)
+
+    # -- execution --------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        check_deadlock: bool = False,
+    ) -> int:
+        hooks = self.hooks
+        heap = self._heap
+        executed = 0
+        if hooks is not None:
+            hooks.on_run_start(self)
+        try:
+            while True:
+                self._flush_tiers()
+                if not heap:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                time = heap[0][0]
+                if until is not None and time > until:
+                    break
+                _time, _seq, fn, args = _heappop(heap)
+                if fn is None:
+                    handle = args
+                    if handle.cancelled:
+                        if self._cancelled > 0:
+                            self._cancelled -= 1
+                        continue
+                    handle.cancelled = True
+                    fn = handle.fn
+                    args = handle.args
+                self.now = time
+                fn(*args)
+                executed += 1
+                if hooks is not None:
+                    hooks.on_execute(self, time, fn)
+                if self._failures and self.strict_failures:
+                    self._raise_failure()
+        finally:
+            if hooks is not None:
+                hooks.on_run_end(self, executed)
+            self.events_executed += executed
+        if until is not None and self.now < until:
+            self.now = until
+        if check_deadlock and not heap:
+            blocked = [p for p in self._live_processes if not p.done]
+            if blocked:
+                raise SimulationDeadlock(blocked)
+        return executed
+
+    def run_until_done(
+        self, processes: Iterable[Process], limit_ns: Optional[int] = None
+    ) -> None:
+        if self.hooks is not None:
+            # The base hooked path only drives self.run(max_events=1),
+            # which resolves to the reference loop above.
+            super().run_until_done(processes, limit_ns)
+            return
+
+        targets = list(processes)
+        pending = [0]
+
+        def _one_done(value: Any, exception: Optional[BaseException],
+                      _pending: List[int] = pending) -> None:
+            _pending[0] -= 1
+
+        for p in targets:
+            if not p.done:
+                pending[0] += 1
+                p.add_callback(_one_done)
+
+        heap = self._heap
+        executed = 0
+        try:
+            while pending[0]:
+                self._flush_tiers()
+                if not heap:
+                    raise SimulationDeadlock(
+                        [p for p in targets if not p.done])
+                if limit_ns is not None and self.now > limit_ns:
+                    self._raise_run_timeout(targets)
+                time, _seq, fn, args = _heappop(heap)
+                if fn is None:
+                    handle = args
+                    if handle.cancelled:
+                        if self._cancelled > 0:
+                            self._cancelled -= 1
+                        continue
+                    handle.cancelled = True
+                    fn = handle.fn
+                    args = handle.args
+                self.now = time
+                fn(*args)
+                executed += 1
+                if self._failures and self.strict_failures:
+                    self._raise_failure()
+        finally:
+            self.events_executed += executed

@@ -8,9 +8,11 @@ loops) preserved the simulator's event schedule bit-for-bit — not just
 
 from tests.fixtures.golden_runs import (
     COHERENCE_FIXTURE,
+    COLLECTIVES_FIXTURE,
     RETRY_FIXTURE,
     canonical_trace_bytes,
     coherence_run,
+    collectives_run,
     retry_run,
 )
 
@@ -32,3 +34,10 @@ def test_retry_trace_matches_pinned_fixture():
 
 def test_coherence_trace_matches_pinned_fixture():
     _assert_matches_fixture(coherence_run(), COHERENCE_FIXTURE)
+
+
+def test_collectives_trace_matches_pinned_fixture():
+    # Pinned under the calendar-queue kernel: the NIC barrier's
+    # multicast release produces the densest same-timestamp batches,
+    # so this fixture is the batch-dispatch regression canary.
+    _assert_matches_fixture(collectives_run(), COLLECTIVES_FIXTURE)

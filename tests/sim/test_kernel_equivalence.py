@@ -1,0 +1,252 @@
+"""Differential equivalence: tiered kernel vs the pure-heap oracle.
+
+The production kernel (:class:`repro.sim.Simulator`) dispatches events
+from three tiers — an immediate list, calendar buckets, a binary heap —
+merged per timestamp and fired in batches.  The reference kernel
+(:class:`repro.sim.ReferenceSimulator`) is the pre-rewrite discipline:
+one heap, one event per loop iteration.  Both promise the *identical*
+``(time, seq)`` dispatch order, so any observable divergence is a bug
+in the tiered kernel's batch collection.
+
+This file checks that promise two ways:
+
+- **Randomized schedules**: ``N_SCHEDULES`` seeded scripts of
+  post/cancel/timer/process/wakeup operations (including bound
+  ``run(until=…)`` / ``run(max_events=…)`` slices that strand events
+  mid-batch) are interpreted against both kernels; the full dispatch
+  logs must serialize to identical bytes.  ``REPRO_STRESS_ITERS=N``
+  multiplies the schedule count.
+- **Cross-kernel cluster pins**: full-cluster workloads (the golden
+  retry run, a coherence/hotspot run, the 8-node NIC-collectives run)
+  are executed under ``kernel="bucket"`` and ``kernel="reference"``
+  and their canonical Chrome-trace exports must be byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.sim import (
+    KERNELS,
+    ReferenceSimulator,
+    Simulator,
+    make_simulator,
+)
+from tests.fixtures.golden_runs import (
+    canonical_trace_bytes,
+    coherence_run,
+    collectives_run,
+    retry_run,
+)
+
+STRESS_ITERS = max(1, int(os.environ.get("REPRO_STRESS_ITERS", "1")))
+
+#: Randomized schedules per test run (the acceptance floor is 1000).
+N_SCHEDULES = 1000 * STRESS_ITERS
+
+#: Delay palette: immediate tier (0), bucket tier (small), heap tier
+#: (beyond the default horizon), plus awkward in-between values.
+DELAYS = (0, 0, 0, 1, 2, 3, 7, 10, 10, 64, 1000,
+          Simulator.DEFAULT_BUCKET_HORIZON,
+          Simulator.DEFAULT_BUCKET_HORIZON + 1,
+          1 << 20)
+
+
+# -- schedule scripts -------------------------------------------------------
+#
+# A script is a list of plain tuples built from one RNG, then
+# interpreted against each kernel.  All nondeterminism lives in the
+# script; the interpreter makes no random choices, so both kernels see
+# the same operation stream and any log divergence is the kernel's.
+
+def _children(rng: random.Random, depth: int):
+    """Events posted from inside an event callback (the fused delay-0
+    producer paths), nested up to ``depth``."""
+    if depth <= 0 or rng.random() < 0.6:
+        return ()
+    return tuple(
+        (rng.choice(DELAYS), _children(rng, depth - 1))
+        for _ in range(rng.randrange(1, 3))
+    )
+
+
+def build_script(seed: int):
+    rng = random.Random(seed)
+    script = []
+    for _ in range(rng.randrange(12, 36)):
+        r = rng.random()
+        if r < 0.30:
+            script.append(("post", rng.choice(DELAYS), _children(rng, 2)))
+        elif r < 0.45:
+            script.append(("timer", rng.choice(DELAYS)))
+        elif r < 0.55:
+            script.append(("cancel", rng.randrange(6)))
+        elif r < 0.75:
+            # A process: a run of yields, each a delay or a wait on a
+            # future resolved by a separately scheduled timeout.
+            steps = tuple(
+                ("delay", rng.choice(DELAYS)) if rng.random() < 0.7
+                else ("wait", rng.choice(DELAYS))
+                for _ in range(rng.randrange(1, 5))
+            )
+            script.append(("spawn", steps))
+        elif r < 0.85:
+            script.append(("run_until", rng.randrange(0, 2000)))
+        else:
+            script.append(("run_max", rng.randrange(1, 8)))
+    script.append(("run_all",))
+    return script
+
+
+class ScriptRunner:
+    """Interpret one script against one kernel, logging every dispatch."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.log = []
+        self.handles = []
+        self._tags = iter(range(1 << 30))
+
+    def _fire(self, tag, children):
+        self.log.append((self.sim.now, tag))
+        for delay, grandchildren in children:
+            self.sim._post(delay, self._fire,
+                           (next(self._tags), grandchildren))
+
+    def _process(self, tag, steps):
+        for kind, delay in steps:
+            if kind == "delay":
+                yield delay
+            else:
+                future = self.sim.future()
+                self.sim._post(delay, future.set_result, (tag,))
+                got = yield future
+                self.log.append((self.sim.now, "woke", tag, got))
+            self.log.append((self.sim.now, "step", tag))
+
+    def execute(self, script):
+        sim = self.sim
+        for op in script:
+            kind = op[0]
+            if kind == "post":
+                sim._post(op[1], self._fire, (next(self._tags), op[2]))
+            elif kind == "timer":
+                self.handles.append(
+                    sim.schedule(op[1], self._fire, next(self._tags), ()))
+            elif kind == "cancel":
+                if self.handles:
+                    self.handles.pop(op[1] % len(self.handles)).cancel()
+            elif kind == "spawn":
+                tag = next(self._tags)
+                sim.spawn(self._process(tag, op[1]), name=f"p{tag}")
+            elif kind == "run_until":
+                sim.run(until=sim.now + op[1])
+            elif kind == "run_max":
+                sim.run(max_events=op[1])
+            else:
+                sim.run()
+        sim.run()
+        self.log.append(("final", sim.now, sim.events_executed,
+                         sim.pending_events))
+        return self.log
+
+
+def _log_bytes(log) -> bytes:
+    return json.dumps(log, separators=(",", ":")).encode()
+
+
+def test_randomized_schedules_dispatch_identically():
+    divergent = []
+    for seed in range(N_SCHEDULES):
+        script = build_script(seed)
+        logs = {}
+        for kernel in KERNELS:
+            logs[kernel] = _log_bytes(
+                ScriptRunner(make_simulator(kernel)).execute(script))
+        if logs["bucket"] != logs["reference"]:
+            divergent.append(seed)
+    assert not divergent, (
+        f"{len(divergent)}/{N_SCHEDULES} schedules diverged between "
+        f"kernels; first failing seeds: {divergent[:10]} — replay with "
+        "ScriptRunner(make_simulator(k)).execute(build_script(seed))"
+    )
+
+
+def test_mid_batch_bound_preserves_order():
+    # max_events bounds land mid-batch by construction: 7 events share
+    # one timestamp, the run is sliced one event at a time, and the
+    # pushback/re-merge path must keep seq order on both kernels.
+    logs = {}
+    for kernel in KERNELS:
+        sim = make_simulator(kernel)
+        runner = ScriptRunner(sim)
+        for i in range(7):
+            sim._post(10, runner._fire, (i, ()))
+        for _ in range(7):
+            sim.run(max_events=1)
+        logs[kernel] = _log_bytes(runner.log)
+    assert logs["bucket"] == logs["reference"]
+    assert json.loads(logs["bucket"])[0] == [10, 0]
+
+
+def test_until_bound_strands_and_resumes_identically():
+    logs = {}
+    for kernel in KERNELS:
+        sim = make_simulator(kernel)
+        runner = ScriptRunner(sim)
+        # Immediate events posted *by* an event at t=5, observed across
+        # an until=5 boundary, then drained.
+        sim._post(5, runner._fire, (0, ((0, ()), (0, ()))))
+        sim.run(until=5)
+        sim.run(until=5)
+        sim._post(0, runner._fire, (99, ()))
+        sim.run()
+        runner.log.append(("final", sim.now))
+        logs[kernel] = _log_bytes(runner.log)
+    assert logs["bucket"] == logs["reference"]
+
+
+def test_cancellation_interleaved_with_dispatch():
+    logs = {}
+    for kernel in KERNELS:
+        sim = make_simulator(kernel)
+        runner = ScriptRunner(sim)
+        handles = [sim.schedule(20, runner._fire, i, ())
+                   for i in range(10)]
+        # An event at t=10 cancels half of the t=20 run before it fires.
+        sim._post(10, lambda: [handles[i].cancel() for i in (1, 3, 5, 7)])
+        sim.run()
+        logs[kernel] = _log_bytes(runner.log)
+    assert logs["bucket"] == logs["reference"]
+    assert [t for _, t in json.loads(logs["bucket"])] == [0, 2, 4, 6, 8, 9]
+
+
+# -- cross-kernel cluster pins ---------------------------------------------
+
+
+@pytest.mark.parametrize("build", [retry_run, coherence_run, collectives_run],
+                         ids=["retry", "coherence", "collectives"])
+def test_cluster_traces_identical_across_kernels(build):
+    traces = {
+        kernel: canonical_trace_bytes(build(kernel=kernel))
+        for kernel in KERNELS
+    }
+    assert traces["bucket"] == traces["reference"], (
+        f"{build.__name__} produced different Chrome traces under the "
+        "tiered and reference kernels"
+    )
+
+
+def test_reference_kernel_is_selectable_and_distinct():
+    sim = make_simulator("reference")
+    assert isinstance(sim, ReferenceSimulator)
+    assert isinstance(sim, Simulator)
+    # The bucket tier stays disabled even after install-time widening.
+    sim.bucket_horizon = 1 << 20
+    assert sim.bucket_horizon == -1
+    with pytest.raises(ValueError):
+        make_simulator("fibonacci")
