@@ -16,6 +16,11 @@ than a pile of scripts:
   deterministic LPT shard assignment, retry-on-worker-crash, and
   structured :class:`ExperimentFailure` degradation in the style of
   :class:`repro.faults.NodeFailure`.
+- :mod:`repro.exp.dist` — the distributed executor behind
+  ``repro sweep --executor {spool,ssh}``: the same LPT shards
+  published as claimable job files in a shared spool directory,
+  pulled by lease-renewing workers on any host, reclaimed on expiry,
+  and gathered with byte-level verification.
 
 ``repro sweep --workers N`` runs everything, writes one
 machine-readable ``results/<id>.json`` per table/figure, and
@@ -25,6 +30,7 @@ any worker count.
 """
 
 from repro.exp.cache import DEFAULT_RESULTS_DIR, ResultCache
+from repro.exp.dist import run_spool_sweep
 from repro.exp.registry import default_registry, select, spec_map
 from repro.exp.runner import (
     DEFAULT_RETRIES,
@@ -51,6 +57,7 @@ __all__ = [
     "SweepOutcome",
     "canonical_json_bytes",
     "default_registry",
+    "run_spool_sweep",
     "run_sweep",
     "select",
     "shard_assignment",

@@ -1,0 +1,72 @@
+"""Distributed sweep execution over a shared spool directory.
+
+The cluster-of-workstations answer to ``repro sweep``: a coordinator
+publishes shard descriptors (the local runner's deterministic LPT
+assignment, serialized) into a spool directory on a shared filesystem;
+any number of workers — local processes, second terminals, or hosts
+reached through the thin SSH fan-out — atomically claim shards by
+rename, keep time-stamped leases warm while computing, and deposit
+canonical result documents plus per-attempt provenance manifests.
+Expired leases are fenced and republished up to a bounded claim
+budget, and the gather step verifies every deposit byte-for-byte
+against the coordinator's own serialization before persisting it, so
+N hosts converge on the same ``results/`` as ``--workers 1``.
+
+- :mod:`repro.exp.dist.spool` — directory layout, shard descriptors,
+  atomic JSON I/O, sweep identity.
+- :mod:`repro.exp.dist.claim` — rename-based claim/finish/requeue
+  (generation-suffixed paths as fencing tokens).
+- :mod:`repro.exp.dist.lease` — heartbeat files, renewal, expiry.
+- :mod:`repro.exp.dist.worker` — the pull-model worker loop
+  (child-process isolation per experiment, provenance ledger).
+- :mod:`repro.exp.dist.coordinator` — publish / watch / reclaim /
+  gather-and-verify, ``exp.dist.*`` metrics.
+- :mod:`repro.exp.dist.ssh` — one CLI worker per host over ssh.
+"""
+
+from repro.exp.dist.claim import (
+    claim_shard,
+    finish_shard,
+    requeue_shard,
+    retire_shard,
+)
+from repro.exp.dist.coordinator import (
+    DEFAULT_LEASE_S,
+    DEFAULT_MAX_CLAIMS,
+    plan_shards,
+    run_spool_sweep,
+)
+from repro.exp.dist.lease import Lease, LeaseFile, lease_expired, read_lease
+from repro.exp.dist.spool import (
+    ShardDescriptor,
+    Spool,
+    SpoolError,
+    SpoolMismatchError,
+    sweep_identity,
+)
+from repro.exp.dist.ssh import SSHLauncher
+from repro.exp.dist.worker import SpoolWorker, default_worker_id, worker_entry
+
+__all__ = [
+    "DEFAULT_LEASE_S",
+    "DEFAULT_MAX_CLAIMS",
+    "Lease",
+    "LeaseFile",
+    "SSHLauncher",
+    "ShardDescriptor",
+    "Spool",
+    "SpoolError",
+    "SpoolMismatchError",
+    "SpoolWorker",
+    "claim_shard",
+    "default_worker_id",
+    "finish_shard",
+    "lease_expired",
+    "plan_shards",
+    "read_lease",
+    "requeue_shard",
+    "retire_shard",
+    "run_spool_sweep",
+    "sweep_identity",
+    "worker_entry",
+]

@@ -1,0 +1,97 @@
+"""Rename-based shard claiming.
+
+The whole mutual-exclusion story is one POSIX guarantee: for a given
+source path, exactly one concurrent ``os.rename`` succeeds; every
+other racer gets ``FileNotFoundError``.  A worker claims a shard by
+renaming its descriptor from ``todo/`` into ``running/``, finishes it
+by renaming ``running/`` into ``done/``, and the coordinator reclaims
+an expired shard by renaming ``running/`` back out.  Because every
+claim generation lives at a distinct path (``<sid>.a<k>.json``), a
+zombie worker's stale renames can only touch its own generation — they
+fail cleanly instead of stealing the current claimant's files.
+
+No claim function ever raises on losing a race; they return ``False``
+so callers can move on to the next shard, the way the HIB's bounded
+retransmit path degrades instead of wedging.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.exp.dist.spool import ShardDescriptor, Spool
+
+
+def _rename(src: str, dst: str) -> bool:
+    """Atomic rename; ``False`` when someone else moved ``src`` first."""
+    try:
+        os.rename(src, dst)
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def claim_shard(spool: Spool, desc: ShardDescriptor) -> bool:
+    """Try to claim ``desc``: move ``todo -> running``.
+
+    Returns ``True`` iff this caller is the unique claimant of this
+    generation.  The winner must immediately acquire the shard's lease
+    (:class:`repro.exp.dist.lease.LeaseFile`) to stay the owner.
+    """
+    return _rename(spool.todo_path(desc), spool.running_path(desc))
+
+
+def finish_shard(spool: Spool, desc: ShardDescriptor) -> bool:
+    """Mark a claimed shard completed: move ``running -> done``.
+
+    ``False`` means the coordinator reclaimed the shard while we ran
+    (our lease expired) — the caller lost ownership and must treat its
+    work as advisory only (deposited results are still valid: they are
+    byte-identical to whatever the re-claimant computes).
+    """
+    return _rename(spool.running_path(desc), spool.done_path(desc))
+
+
+def retire_shard(spool: Spool, desc: ShardDescriptor) -> bool:
+    """Coordinator-side fencing *without* republication, for a shard
+    whose claim budget is exhausted: remove the expired generation from
+    ``running`` (so its zombie's ``finish_shard`` fails) and drop the
+    lease.  ``False`` means the shard finished first — not a failure.
+    """
+    scratch = spool.running_path(desc) + ".retired"
+    if not _rename(spool.running_path(desc), scratch):
+        return False
+    for path in (spool.lease_path(desc), scratch):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return True
+
+
+def requeue_shard(spool: Spool, desc: ShardDescriptor) -> Optional[ShardDescriptor]:
+    """Coordinator-side reclaim: take an expired ``running`` shard and
+    republish the next claim generation into ``todo``.
+
+    The sequencing matters for crash tolerance: the *removal* of the
+    old generation (the running-file rename into a scratch name) comes
+    first and is the linearization point — after it, the zombie's
+    ``finish_shard`` fails; before it, a coordinator crash leaves the
+    spool exactly as it was.  Returns the republished descriptor, or
+    ``None`` when the shard finished (or vanished) before we got to it.
+    """
+    successor = desc.with_attempt(desc.attempt + 1)
+    scratch = spool.running_path(desc) + ".reclaimed"
+    if not _rename(spool.running_path(desc), scratch):
+        return None  # finished in the meantime — not actually expired work
+    try:
+        os.unlink(spool.lease_path(desc))
+    except OSError:
+        pass
+    spool.publish(successor)
+    try:
+        os.unlink(scratch)
+    except OSError:
+        pass
+    return successor

@@ -1,0 +1,405 @@
+"""The coordinator: publish, watch, reclaim, gather, verify.
+
+``run_spool_sweep`` is the distributed twin of
+:func:`repro.exp.runner.run_sweep` with the same contract — a
+:class:`~repro.exp.runner.SweepOutcome` whose ``results/`` bytes are
+identical to a ``--workers 1`` local run — reached through a spool
+directory instead of a process pool:
+
+1. **Publish** — cache-filter the specs exactly like the local runner,
+   LPT-pack the pending ones into shard descriptors with the *same*
+   :func:`~repro.exp.runner.shard_assignment`, and write them into
+   ``todo/``.  The manifest records the sweep identity (hash of the
+   ``(exp_id, cache_key)`` set) and the full plan, so an interrupted
+   sweep can be resumed against the same spool — already-finished
+   shards stay finished, deposited results are reused, and a spool
+   whose identity does not match is refused outright.
+2. **Watch + reclaim** — poll the spool: a running shard whose lease
+   expired is renamed out (fencing its zombie) and republished as the
+   next claim generation, up to ``max_claims`` generations, after
+   which the shard is marked failed — the sweep-level analogue of the
+   runner's bounded isolated-retry → :class:`ExperimentFailure`.
+3. **Gather + verify** — in registry order, read each deposited
+   result, recompute the envelope from the *coordinator's* spec and
+   require byte equality with the deposit (catching worker code skew
+   or torn writes), then persist through the one canonical
+   :meth:`~repro.exp.cache.ResultCache.store` path.  Experiments with
+   no surviving deposit degrade into :class:`ExperimentFailure`
+   records assembled from the shard's provenance manifests: last
+   traceback or exit code, worker host, total attempt count.
+
+``exp.dist.*`` metrics (shards published/claimed/reclaimed/failed,
+lease renewals, per-worker shard wall-clock) are emitted through a
+:class:`repro.obs.MetricsRegistry` and returned in
+``SweepOutcome.stats``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Callable, List, Optional, Sequence, Set
+
+from repro.exp.cache import ResultCache
+from repro.exp.dist.claim import requeue_shard, retire_shard
+from repro.exp.dist.lease import lease_expired, read_lease
+from repro.exp.dist.spool import (
+    ShardDescriptor,
+    Spool,
+    SpoolMismatchError,
+    sweep_identity,
+    write_json_atomic,
+)
+from repro.exp.dist.worker import worker_entry
+from repro.exp.runner import (
+    DEFAULT_RETRIES,
+    ExperimentFailure,
+    SweepOutcome,
+    shard_assignment,
+)
+from repro.exp.spec import ExperimentSpec, canonical_json_bytes
+from repro.obs import MetricsRegistry
+
+#: Claim generations per shard (first claim + reclaims after expiry).
+DEFAULT_MAX_CLAIMS = 3
+
+#: Default lease window, generous relative to NTP-class clock skew.
+DEFAULT_LEASE_S = 30.0
+
+
+def plan_shards(
+    pending: Sequence[ExperimentSpec],
+    shards: int,
+    sweep: str,
+    lease_s: float,
+    max_claims: int,
+    retries: int,
+) -> List[ShardDescriptor]:
+    """Deterministic shard plan: the local runner's LPT assignment,
+    serialized as claimable descriptors (empty shards dropped)."""
+    assignment = shard_assignment(pending, shards)
+    width = max(2, len(str(max(len(assignment) - 1, 1))))
+    descriptors = []
+    for index, shard in enumerate(assignment):
+        if not shard:
+            continue
+        descriptors.append(ShardDescriptor(
+            shard=f"S{index:0{width}d}",
+            sweep=sweep,
+            attempt=1,
+            max_claims=max_claims,
+            retries=retries,
+            lease_s=lease_s,
+            experiments=tuple(
+                (spec.exp_id, spec.cache_key()) for spec in shard
+            ),
+        ))
+    return descriptors
+
+
+class _ShardTracker:
+    """Coordinator-side view of one shard's lifecycle."""
+
+    def __init__(self, desc: ShardDescriptor):
+        self.desc = desc
+        self.seen_running = False
+        self.done = False
+        self.failed = False
+
+
+def _fail_shard(spool: Spool, desc: ShardDescriptor, reason: str) -> None:
+    document = desc.to_dict()
+    document["failed"] = reason
+    write_json_atomic(spool.failed_path(desc.shard), document)
+
+
+def _shard_index(shard_id: str) -> int:
+    try:
+        return int(shard_id.lstrip("S"))
+    except ValueError:
+        return -1
+
+
+def _failure_from_provenance(
+    spool: Spool, exp_id: str, desc: ShardDescriptor, default_error: str
+) -> ExperimentFailure:
+    """Assemble the structured failure for one undeposited experiment
+    from every provenance manifest its shard left behind."""
+    attempts = 0
+    error = default_error
+    host = ""
+    for manifest in spool.provenance_for_shard(desc.shard):
+        for record in manifest.get("experiments", []):
+            if record.get("experiment") != exp_id:
+                continue
+            for one in record.get("attempts", []):
+                if one.get("status") in ("error", "died", "ok"):
+                    attempts += 1
+                if one.get("error"):
+                    error = str(one["error"])
+                    host = str(manifest.get("host", ""))
+        if not manifest.get("completed", False) and not any(
+            record.get("experiment") == exp_id
+            for record in manifest.get("experiments", [])
+        ):
+            # The worker died (or was fenced) before reaching this
+            # experiment — the manifest itself is the death notice.
+            host = host or str(manifest.get("host", ""))
+    return ExperimentFailure(
+        experiment=exp_id,
+        shard=_shard_index(desc.shard),
+        attempts=max(attempts, 1),
+        error=error,
+        host=host,
+    )
+
+
+def run_spool_sweep(
+    specs: Sequence[ExperimentSpec],
+    spool_dir: str,
+    *,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    workers: int = 1,
+    shards: Optional[int] = None,
+    lease_s: float = DEFAULT_LEASE_S,
+    max_claims: int = DEFAULT_MAX_CLAIMS,
+    retries: int = DEFAULT_RETRIES,
+    poll_s: float = 0.2,
+    timeout_s: Optional[float] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    launcher: Optional[Any] = None,
+) -> SweepOutcome:
+    """Run a sweep through a shared spool directory.
+
+    ``workers`` local worker processes are spawned in-process (0 means
+    pull-only: external workers — other terminals or hosts — do all the
+    computing); ``launcher`` optionally fans out remote CLI workers
+    (see :class:`repro.exp.dist.ssh.SSHLauncher`) and is started after
+    publication and stopped before gathering.
+    """
+    cache = cache if cache is not None else ResultCache()
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    outcome = SweepOutcome()
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    # -- cache filter (identical to the local runner) -------------------
+    pending: List[ExperimentSpec] = []
+    for spec in specs:
+        document = None if force else cache.lookup(spec)
+        if document is not None:
+            outcome.documents[spec.exp_id] = document
+            outcome.cached.append(spec.exp_id)
+            say(f"[{spec.exp_id}] cached")
+        else:
+            pending.append(spec)
+    if not pending:
+        outcome.stats = {"dist": metrics.snapshot()}
+        return outcome
+
+    # -- spool init / resume --------------------------------------------
+    sweep = sweep_identity([(s.exp_id, s.cache_key()) for s in specs])
+    spool = Spool(spool_dir)
+    spool.ensure_layout()
+    manifest = spool.read_manifest()
+    shard_count = shards if shards else max(workers, 1)
+    if manifest is None:
+        plan = plan_shards(pending, shard_count, sweep,
+                           lease_s, max_claims, retries)
+        spool.write_manifest({
+            "sweep": sweep,
+            "lease_s": lease_s,
+            "max_claims": max_claims,
+            "retries": retries,
+            "shards": [desc.to_dict() for desc in plan],
+        })
+        for desc in plan:
+            spool.publish(desc)
+            metrics.counter("exp.dist.shards", state="published").inc()
+        say(f"published {len(plan)} shards to {spool_dir} "
+            f"(sweep {sweep})")
+    else:
+        if manifest.get("sweep") != sweep:
+            raise SpoolMismatchError(
+                f"spool {spool_dir} belongs to sweep "
+                f"{manifest.get('sweep')!r}, not {sweep!r} — the spec "
+                f"set or cache keys changed; use a fresh --spool-dir"
+            )
+        plan = [ShardDescriptor.from_dict(d)
+                for d in manifest.get("shards", [])]
+        planned_exps = {e for desc in plan for e in desc.exp_ids()}
+        missing = [s.exp_id for s in pending
+                   if s.exp_id not in planned_exps]
+        if missing:
+            raise SpoolMismatchError(
+                f"spool {spool_dir} has no shard covering {missing}; "
+                f"use a fresh --spool-dir"
+            )
+        spool.clear_complete()
+        # Republish only shards with no presence in any state column —
+        # a coordinator that crashed mid-publication left them out.
+        present: Set[str] = set()
+        for lister in (spool.list_todo, spool.list_running,
+                       spool.list_done):
+            present.update(d.shard for d in lister())
+        present.update(d["shard"] for d in spool.list_failed())
+        for desc in plan:
+            if desc.shard not in present:
+                spool.publish(desc)
+                metrics.counter("exp.dist.shards", state="published").inc()
+        say(f"resumed sweep {sweep} on {spool_dir} "
+            f"({len(plan)} shards planned)")
+
+    trackers = {desc.shard: _ShardTracker(desc) for desc in plan}
+
+    # -- launch local workers / remote fan-out --------------------------
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+    # Workers are non-daemonic: each one spawns a fresh child process
+    # per experiment (the isolation discipline), which daemons may not.
+    local_workers = [
+        context.Process(
+            target=worker_entry,
+            args=(spool_dir, list(specs)),
+            kwargs={"worker_id": f"local.{index}", "poll_s": poll_s},
+        )
+        for index in range(workers)
+    ]
+    for process in local_workers:
+        process.start()
+    if launcher is not None:
+        launcher.launch()
+
+    # -- watch + reclaim ------------------------------------------------
+    deadline = None if timeout_s is None else time.time() + timeout_s
+    timed_out = False
+    try:
+        while True:
+            unresolved = [t for t in trackers.values()
+                          if not (t.done or t.failed)]
+            if not unresolved:
+                break
+            for desc in spool.list_done():
+                tracker = trackers.get(desc.shard)
+                if tracker is not None and not tracker.done:
+                    tracker.done = True
+                    metrics.counter("exp.dist.shards", state="done").inc()
+                    say(f"[{desc.shard}] done (attempt {desc.attempt})")
+            for document in spool.list_failed():
+                tracker = trackers.get(document.get("shard", ""))
+                if tracker is not None and not tracker.failed:
+                    tracker.failed = True
+                    metrics.counter("exp.dist.shards", state="failed").inc()
+                    say(f"[{document.get('shard')}] FAILED: "
+                        f"{document.get('failed', '?')}")
+            now = time.time()
+            for desc in spool.list_running():
+                tracker = trackers.get(desc.shard)
+                if tracker is None or tracker.done or tracker.failed:
+                    continue
+                if not tracker.seen_running:
+                    tracker.seen_running = True
+                    lease = read_lease(spool.lease_path(desc))
+                    owner = lease.owner if lease is not None else "?"
+                    metrics.counter("exp.dist.shards", state="claimed").inc()
+                    say(f"[{desc.shard}] claimed by {owner} "
+                        f"(attempt {desc.attempt})")
+                if lease_expired(spool, desc, now=now):
+                    if desc.attempt >= desc.max_claims:
+                        if retire_shard(spool, desc):
+                            _fail_shard(
+                                spool, desc,
+                                f"lease expired on attempt {desc.attempt} "
+                                f"of {desc.max_claims}; claim budget "
+                                f"exhausted",
+                            )
+                            say(f"[{desc.shard}] claim budget exhausted "
+                                f"({desc.max_claims} claims)")
+                    elif requeue_shard(spool, desc) is not None:
+                        tracker.desc = desc.with_attempt(desc.attempt + 1)
+                        tracker.seen_running = False
+                        metrics.counter(
+                            "exp.dist.shards", state="reclaimed").inc()
+                        say(f"[{desc.shard}] lease expired; republished "
+                            f"as attempt {desc.attempt + 1}")
+            if deadline is not None and time.time() > deadline:
+                timed_out = True
+                say("coordinator timeout: giving up on "
+                    + ", ".join(sorted(
+                        t.desc.shard for t in trackers.values()
+                        if not (t.done or t.failed))))
+                break
+            time.sleep(poll_s)
+    finally:
+        if not timed_out:
+            spool.mark_complete()
+        if launcher is not None:
+            launcher.stop()
+        for process in local_workers:
+            if timed_out and process.is_alive():
+                process.terminate()
+            process.join()
+
+    # -- gather + verify ------------------------------------------------
+    shard_of = {
+        exp_id: desc
+        for desc in plan
+        for exp_id in desc.exp_ids()
+    }
+    for spec in pending:
+        desc = shard_of[spec.exp_id]
+        deposited = spool.load_result_bytes(spec.exp_id)
+        if deposited is not None:
+            document = spool.load_result(spec.exp_id)
+            expected = canonical_json_bytes(
+                spec.document((document or {}).get("result", {})))
+            if document is None or deposited != expected \
+                    or document.get("cache_key") != spec.cache_key():
+                outcome.failures.append(ExperimentFailure(
+                    experiment=spec.exp_id,
+                    shard=_shard_index(desc.shard),
+                    attempts=1,
+                    error="deposited result failed content-hash "
+                          "verification against the coordinator's spec "
+                          "(worker code skew or torn write); not gathered",
+                ))
+                metrics.counter("exp.dist.experiments",
+                                outcome="verify_failed").inc()
+                continue
+            outcome.documents[spec.exp_id] = cache.store(
+                spec, document["result"])
+            outcome.ran.append(spec.exp_id)
+            metrics.counter("exp.dist.experiments", outcome="ran").inc()
+        else:
+            tracker = trackers[desc.shard]
+            default_error = (
+                "sweep timed out before any worker finished this shard"
+                if timed_out and not tracker.failed else
+                "no worker deposited a result for this experiment"
+            )
+            outcome.failures.append(_failure_from_provenance(
+                spool, spec.exp_id, tracker.desc, default_error))
+            metrics.counter("exp.dist.experiments", outcome="failed").inc()
+
+    # -- per-worker accounting from the provenance ledger ---------------
+    # Each (shard, attempt) manifest is a checkpointed snapshot, so its
+    # final lease_renewals/wall_s values are totals, not increments.
+    for desc in plan:
+        for manifest_doc in spool.provenance_for_shard(desc.shard):
+            worker_id = str(manifest_doc.get("worker", "?"))
+            if manifest_doc.get("completed", False):
+                metrics.histogram(
+                    "exp.dist.shard_wall_s", worker=worker_id
+                ).observe(float(manifest_doc.get("wall_s", 0.0)))
+            metrics.counter(
+                "exp.dist.lease_renewals", worker=worker_id
+            ).inc(int(manifest_doc.get("lease_renewals", 0)))
+
+    outcome.stats = {"dist": metrics.snapshot(), "timed_out": timed_out}
+    return outcome

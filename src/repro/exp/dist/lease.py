@@ -1,0 +1,161 @@
+"""Time-stamped leases: the liveness half of the claim protocol.
+
+A rename proves *exclusivity* (exactly one claimant per generation)
+but says nothing about *liveness* — a worker that claimed a shard and
+then lost power holds it forever.  The lease file is the heartbeat:
+the claimant writes ``leases/<sid>.a<k>.json`` carrying an absolute
+expiry timestamp and rewrites it (atomically) well before expiry while
+its experiments run.  The coordinator treats a running shard whose
+lease expired — or that never produced one within a grace window — as
+dead and reclaims it.
+
+Leases use wall-clock time across machines, so the protocol assumes
+*loosely* synchronized clocks: skew eats into (or pads) the lease
+window but can never violate safety, because reclaiming an alive
+worker only creates a redundant claimant, and redundant claimants are
+harmless — experiments are pure functions and result deposits are
+atomic writes of identical bytes.  Skew therefore costs at most wasted
+recomputation, never wrong output; ``lease_s`` defaults generous
+(30 s) relative to NTP-class skew.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.exp.dist.spool import ShardDescriptor, Spool, read_json, write_json_atomic
+
+#: Renew when less than this fraction of the lease window remains.
+RENEW_FRACTION = 3.0
+
+
+@dataclass
+class Lease:
+    """One parsed lease file."""
+
+    shard: str
+    attempt: int
+    owner: str
+    host: str
+    pid: int
+    #: Absolute wall-clock expiry (seconds since the epoch).
+    expires: float
+    #: Renewals performed so far (heartbeat count, exported as the
+    #: ``exp.dist.lease_renewals`` metric).
+    renewals: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "attempt": self.attempt,
+            "owner": self.owner,
+            "host": self.host,
+            "pid": self.pid,
+            "expires": self.expires,
+            "renewals": self.renewals,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Lease":
+        return cls(
+            shard=str(data["shard"]),
+            attempt=int(data["attempt"]),
+            owner=str(data["owner"]),
+            host=str(data.get("host", "")),
+            pid=int(data.get("pid", 0)),
+            expires=float(data["expires"]),
+            renewals=int(data.get("renewals", 0)),
+        )
+
+
+def read_lease(path: str) -> Optional[Lease]:
+    data = read_json(path)
+    if data is None:
+        return None
+    try:
+        return Lease.from_dict(data)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class LeaseFile:
+    """The claimant's handle on one shard's lease.
+
+    ``clock`` is injectable so tests can drive expiry deterministically
+    instead of sleeping.
+    """
+
+    def __init__(self, spool: Spool, desc: ShardDescriptor, owner: str,
+                 clock: Callable[[], float] = time.time):
+        self.spool = spool
+        self.desc = desc
+        self.owner = owner
+        self.clock = clock
+        self.path = spool.lease_path(desc)
+        self.renewals = 0
+        self._last_write = 0.0
+
+    def acquire(self) -> None:
+        """Write the initial lease; call immediately after a winning
+        :func:`~repro.exp.dist.claim.claim_shard`."""
+        self._write()
+
+    def _write(self) -> None:
+        now = self.clock()
+        write_json_atomic(self.path, Lease(
+            shard=self.desc.shard,
+            attempt=self.desc.attempt,
+            owner=self.owner,
+            host=socket.gethostname(),
+            pid=os.getpid(),
+            expires=now + self.desc.lease_s,
+            renewals=self.renewals,
+        ).to_dict())
+        self._last_write = now
+
+    def maybe_renew(self) -> bool:
+        """Renew when due.  Returns ``False`` iff ownership was lost —
+        the lease file is gone or now names someone else (the
+        coordinator reclaimed us); the caller must abandon the shard.
+        """
+        now = self.clock()
+        if now - self._last_write < self.desc.lease_s / RENEW_FRACTION:
+            return True
+        current = read_lease(self.path)
+        if current is None or current.owner != self.owner \
+                or current.attempt != self.desc.attempt:
+            return False
+        self.renewals = current.renewals + 1
+        self._write()
+        return True
+
+    def release(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+def lease_expired(spool: Spool, desc: ShardDescriptor,
+                  now: Optional[float] = None) -> bool:
+    """Coordinator-side expiry check for one *running* shard.
+
+    A missing lease file does not immediately mean death: the claimant
+    writes it just *after* its winning rename, so there is a window
+    where ``running/`` exists and ``leases/`` does not.  In that case
+    the running file's own mtime bounds the claim age, and the shard is
+    expired once that age exceeds the lease window.
+    """
+    now = time.time() if now is None else now
+    lease = read_lease(spool.lease_path(desc))
+    if lease is not None:
+        return now > lease.expires
+    try:
+        claimed_at = os.stat(spool.running_path(desc)).st_mtime
+    except OSError:
+        return False  # finished (or reclaimed) mid-scan; nothing to do
+    return now - claimed_at > desc.lease_s

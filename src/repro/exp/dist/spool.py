@@ -1,0 +1,335 @@
+"""The shared spool directory: the cluster's job board.
+
+The distributed sweep is a **job-file + pull model** in the lineage of
+classic print/mail spools and the batch systems the Cluster Computing
+White Paper surveys: the coordinator *publishes* work as files in a
+shared directory, and workers *pull* it by atomically renaming a job
+file into their own column.  Nothing talks to anything over a socket —
+the only shared medium is a POSIX filesystem (NFS-class semantics are
+enough: ``rename(2)`` within one directory tree is atomic, which is the
+single primitive the claim protocol relies on).
+
+Layout under one spool root (all on the same filesystem, so every
+rename is atomic and never cross-device)::
+
+    <spool>/
+      MANIFEST.json            # sweep identity + shard plan (coordinator)
+      COMPLETE                 # terminal marker: workers drain and exit
+      todo/<sid>.a<k>.json     # shard descriptors ready to claim
+      running/<sid>.a<k>.json  # claimed descriptors (rename target)
+      done/<sid>.a<k>.json     # completed descriptors
+      failed/<sid>.json        # shards that exhausted their claim budget
+      leases/<sid>.a<k>.json   # heartbeat files for running shards
+      results/<exp_id>.json    # deposited result documents (canonical bytes)
+      provenance/<sid>.a<k>.json  # per-attempt execution manifests
+
+Every shard file name carries its **claim generation** (``.a1``,
+``.a2``, ...): each re-claim of a shard lives at a *distinct* path, so
+a zombie worker (one whose lease expired but which is still running)
+can only ever rename or finish its own generation — its stale renames
+fail with ``FileNotFoundError`` instead of corrupting the current
+claimant's state.  This is the filesystem analogue of a fencing token.
+
+Result documents are generation-free on purpose: experiments are pure
+functions of their spec, so two generations racing to deposit
+``results/<exp_id>.json`` write byte-identical content through atomic
+replaces — last writer wins and it does not matter who that is.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exp.spec import canonical_json_bytes
+
+MANIFEST_NAME = "MANIFEST.json"
+COMPLETE_NAME = "COMPLETE"
+
+#: Spool sub-directories, created by :meth:`Spool.ensure_layout`.
+SPOOL_DIRS = (
+    "todo", "running", "done", "failed", "leases", "results", "provenance",
+)
+
+
+class SpoolError(RuntimeError):
+    """Structural spool problems (unreadable manifest, layout clash)."""
+
+
+class SpoolMismatchError(SpoolError):
+    """The spool belongs to a different sweep (spec set / cache keys
+    changed); resuming would mix incompatible generations of work."""
+
+
+@dataclass(frozen=True)
+class ShardDescriptor:
+    """One unit of claimable work: an ordered list of experiments.
+
+    The descriptor is self-contained on purpose — a worker needs only
+    the spool directory and its own copy of the experiment registry to
+    run a shard; the ``cache_key`` per experiment lets it detect
+    coordinator/worker code skew before computing anything.
+    """
+
+    #: Stable shard id within the sweep (``"S00"``, ``"S01"``, ...).
+    shard: str
+    #: Sweep identity — hash of the full (exp_id, cache_key) spec set.
+    sweep: str
+    #: Claim generation, 1-based; bumped by every coordinator reclaim.
+    attempt: int
+    #: Total claim budget (first claim + re-claims after lease expiry).
+    max_claims: int
+    #: Per-experiment retry budget *inside* one worker (crashed or
+    #: raising experiments), mirroring the local runner's ``retries``.
+    retries: int
+    #: Lease duration granted to the claimant, in seconds.
+    lease_s: float
+    #: Ordered ``(exp_id, cache_key)`` pairs, LPT order preserved.
+    experiments: Tuple[Tuple[str, str], ...]
+
+    @property
+    def file_name(self) -> str:
+        return f"{self.shard}.a{self.attempt}.json"
+
+    def exp_ids(self) -> List[str]:
+        return [exp_id for exp_id, _ in self.experiments]
+
+    def with_attempt(self, attempt: int) -> "ShardDescriptor":
+        return ShardDescriptor(
+            shard=self.shard, sweep=self.sweep, attempt=attempt,
+            max_claims=self.max_claims, retries=self.retries,
+            lease_s=self.lease_s, experiments=self.experiments,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "sweep": self.sweep,
+            "attempt": self.attempt,
+            "max_claims": self.max_claims,
+            "retries": self.retries,
+            "lease_s": self.lease_s,
+            "experiments": [list(pair) for pair in self.experiments],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardDescriptor":
+        return cls(
+            shard=data["shard"],
+            sweep=data["sweep"],
+            attempt=int(data["attempt"]),
+            max_claims=int(data["max_claims"]),
+            retries=int(data["retries"]),
+            lease_s=float(data["lease_s"]),
+            experiments=tuple(
+                (str(e), str(k)) for e, k in data["experiments"]
+            ),
+        )
+
+
+def write_json_atomic(path: str, document: Dict[str, Any]) -> None:
+    """Write ``document`` as canonical JSON via a same-directory temp
+    file + ``os.replace`` — readers never observe a partial file."""
+    write_bytes_atomic(path, canonical_json_bytes(document))
+
+
+def write_bytes_atomic(path: str, payload: bytes) -> None:
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: str) -> Optional[Dict[str, Any]]:
+    """The parsed document, or ``None`` when absent/partial/corrupt
+    (a concurrently-renamed-away file reads as absent, which is the
+    behaviour the claim protocol wants)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+class Spool:
+    """Path arithmetic and atomic I/O over one spool root.
+
+    The spool carries *no locks*: exclusivity comes from ``os.rename``
+    (exactly one renamer of a given source path wins) and freshness
+    from the lease files (:mod:`repro.exp.dist.lease`).
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+
+    # -- layout ---------------------------------------------------------
+
+    def ensure_layout(self) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        for name in SPOOL_DIRS:
+            os.makedirs(os.path.join(self.root, name), exist_ok=True)
+
+    def dir(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    # -- shard state paths ---------------------------------------------
+
+    def todo_path(self, desc: ShardDescriptor) -> str:
+        return os.path.join(self.root, "todo", desc.file_name)
+
+    def running_path(self, desc: ShardDescriptor) -> str:
+        return os.path.join(self.root, "running", desc.file_name)
+
+    def done_path(self, desc: ShardDescriptor) -> str:
+        return os.path.join(self.root, "done", desc.file_name)
+
+    def failed_path(self, shard: str) -> str:
+        return os.path.join(self.root, "failed", f"{shard}.json")
+
+    def lease_path(self, desc: ShardDescriptor) -> str:
+        return os.path.join(self.root, "leases", desc.file_name)
+
+    def result_path(self, exp_id: str) -> str:
+        return os.path.join(self.root, "results", f"{exp_id}.json")
+
+    def provenance_path(self, desc: ShardDescriptor) -> str:
+        return os.path.join(self.root, "provenance", desc.file_name)
+
+    # -- manifest -------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def write_manifest(self, manifest: Dict[str, Any]) -> None:
+        write_json_atomic(self.manifest_path, manifest)
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        return read_json(self.manifest_path)
+
+    # -- completion marker ---------------------------------------------
+
+    @property
+    def complete_path(self) -> str:
+        return os.path.join(self.root, COMPLETE_NAME)
+
+    def mark_complete(self) -> None:
+        write_bytes_atomic(self.complete_path, b"complete\n")
+
+    def clear_complete(self) -> None:
+        try:
+            os.unlink(self.complete_path)
+        except OSError:
+            pass
+
+    def is_complete(self) -> bool:
+        return os.path.exists(self.complete_path)
+
+    # -- shard publication / listing -----------------------------------
+
+    def publish(self, desc: ShardDescriptor) -> None:
+        """Make a shard claimable: atomic write into ``todo/``."""
+        write_json_atomic(self.todo_path(desc), desc.to_dict())
+
+    def _list_descriptors(self, state: str) -> List[ShardDescriptor]:
+        directory = self.dir(state)
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return []
+        out: List[ShardDescriptor] = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            data = read_json(os.path.join(directory, name))
+            if data is None:
+                continue  # renamed away mid-scan, or partial
+            try:
+                out.append(ShardDescriptor.from_dict(data))
+            except (KeyError, TypeError, ValueError):
+                continue
+        return out
+
+    def list_todo(self) -> List[ShardDescriptor]:
+        return self._list_descriptors("todo")
+
+    def list_running(self) -> List[ShardDescriptor]:
+        return self._list_descriptors("running")
+
+    def list_done(self) -> List[ShardDescriptor]:
+        return self._list_descriptors("done")
+
+    def list_failed(self) -> List[Dict[str, Any]]:
+        directory = self.dir("failed")
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return []
+        docs = (read_json(os.path.join(directory, n)) for n in names
+                if n.endswith(".json"))
+        return [d for d in docs if d is not None]
+
+    # -- results + provenance ------------------------------------------
+
+    def deposit_result(self, exp_id: str, payload: bytes) -> None:
+        """Atomically deposit one result document's canonical bytes.
+
+        Safe under racing generations: pure-function experiments mean
+        both writers carry identical bytes.
+        """
+        write_bytes_atomic(self.result_path(exp_id), payload)
+
+    def load_result(self, exp_id: str) -> Optional[Dict[str, Any]]:
+        return read_json(self.result_path(exp_id))
+
+    def load_result_bytes(self, exp_id: str) -> Optional[bytes]:
+        try:
+            with open(self.result_path(exp_id), "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def write_provenance(self, desc: ShardDescriptor,
+                         manifest: Dict[str, Any]) -> None:
+        write_json_atomic(self.provenance_path(desc), manifest)
+
+    def load_provenance(self, desc: ShardDescriptor) -> Optional[Dict[str, Any]]:
+        return read_json(self.provenance_path(desc))
+
+    def provenance_for_shard(self, shard: str) -> List[Dict[str, Any]]:
+        """Every attempt's provenance manifest for one shard, in
+        attempt order — the full execution history the coordinator
+        reports failures from."""
+        directory = self.dir("provenance")
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return []
+        matching = sorted(
+            name for name in names
+            if name.startswith(f"{shard}.a") and name.endswith(".json")
+        )
+        docs = (read_json(os.path.join(directory, n)) for n in matching)
+        return [d for d in docs if d is not None]
+
+
+def sweep_identity(pairs: Sequence[Tuple[str, str]]) -> str:
+    """Stable identity of a sweep: BLAKE2b over the sorted
+    ``(exp_id, cache_key)`` set.  Two coordinators (or a coordinator
+    and a resumed successor) may share a spool iff this matches."""
+    import hashlib
+
+    material = json.dumps(sorted(pairs), sort_keys=True).encode("utf-8")
+    return hashlib.blake2b(material, digest_size=8).hexdigest()

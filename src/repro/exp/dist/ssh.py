@@ -1,0 +1,92 @@
+"""Thin SSH fan-out: start one CLI worker per host.
+
+The launcher is deliberately dumb — it is *not* part of the
+correctness story.  All coordination (claiming, leasing, reclaim,
+gather) happens through the spool directory, which every host must see
+at the same path (an NFS mount, in the paper's workstation-cluster
+setting).  The launcher only types the same command a human would type
+in a second terminal::
+
+    ssh <host> 'cd <repo> && PYTHONPATH=src python -m repro sweep \\
+        --executor spool --worker --spool-dir <spool> --worker-id <host>'
+
+so a dead SSH session is just a dead worker: its lease expires and the
+coordinator reclaims its shard.  ``ssh_cmd`` is injectable, which is
+how the tests drive the full remote path through a local stand-in
+instead of a real sshd.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import sys
+from typing import Callable, List, Optional, Sequence
+
+
+class SSHLauncher:
+    """Launch and reap one ``repro sweep --worker`` per host."""
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        spool_dir: str,
+        cwd: Optional[str] = None,
+        python: str = "python3",
+        ssh_cmd: Sequence[str] = ("ssh", "-o", "BatchMode=yes"),
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.hosts = list(hosts)
+        self.spool_dir = spool_dir
+        self.cwd = cwd if cwd is not None else os.getcwd()
+        self.python = python
+        self.ssh_cmd = list(ssh_cmd)
+        self.progress = progress
+        self.procs: List[subprocess.Popen] = []
+
+    def remote_command(self, host: str, index: int) -> str:
+        """The shell command executed on ``host`` (quoted for one
+        level of remote-shell evaluation, as ssh provides)."""
+        worker_id = f"{host}.{index}"
+        parts = [
+            "cd", shlex.quote(self.cwd), "&&",
+            "PYTHONPATH=src", shlex.quote(self.python), "-m", "repro",
+            "sweep", "--executor", "spool", "--worker",
+            "--spool-dir", shlex.quote(self.spool_dir),
+            "--worker-id", shlex.quote(worker_id),
+        ]
+        return " ".join(parts)
+
+    def command_for(self, host: str, index: int) -> List[str]:
+        return [*self.ssh_cmd, host, self.remote_command(host, index)]
+
+    def launch(self) -> None:
+        for index, host in enumerate(self.hosts):
+            command = self.command_for(host, index)
+            if self.progress is not None:
+                self.progress(f"[ssh] launching worker on {host}: "
+                              f"{' '.join(command)}")
+            self.procs.append(subprocess.Popen(
+                command,
+                stdout=sys.stderr,
+                stderr=sys.stderr,
+                stdin=subprocess.DEVNULL,
+            ))
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Reap the workers.  They exit on their own once the
+        coordinator writes the ``COMPLETE`` marker; anything still
+        alive after the grace period is terminated (its lease will
+        expire, which is the protocol's normal recovery)."""
+        for process in self.procs:
+            try:
+                process.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                try:
+                    process.wait(timeout=timeout_s)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+        self.procs = []

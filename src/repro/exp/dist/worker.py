@@ -1,0 +1,312 @@
+"""The pull-model worker: claim, lease, compute, deposit.
+
+One worker is one process (on any host that can see the spool
+filesystem) looping over:
+
+1. **Claim** — scan ``todo/`` in shard order and try the atomic rename;
+   losing a race is normal, move to the next descriptor.
+2. **Lease** — write the heartbeat file, then renew it from the polling
+   loop *around* the experiment child process, so a long-running
+   measurement never starves the heartbeat.
+3. **Compute** — run each experiment in a **fresh child process**
+   (the same isolation discipline as the local runner's retry path):
+   a raising experiment reports its traceback, a hard-dying one
+   (``os._exit``, segfault, OOM-kill) reports an exit code — either
+   way the *worker* survives, records the attempt in the shard's
+   provenance manifest, and moves on.  Results already deposited in
+   the spool with a matching cache key are skipped, which is what
+   makes re-claimed and resumed shards cheap.
+4. **Deposit** — write ``results/<exp_id>.json`` through the one
+   canonical serializer as each experiment lands (partial progress
+   survives any later crash), rewrite the provenance manifest after
+   every attempt, and finally rename the shard into ``done/``.
+
+The provenance manifest is the crash ledger the coordinator reports
+from: per experiment, per attempt — status, traceback or exit code,
+host, wall-clock — so a worker death never reduces to a bare
+"something failed somewhere".
+
+The same loop serves both entry styles: ``repro sweep --executor spool
+--worker`` (the CLI role) and in-process ``multiprocessing`` children
+spawned by the coordinator for local parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import socket
+import time
+import traceback
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.exp.dist.claim import claim_shard, finish_shard
+from repro.exp.dist.lease import LeaseFile
+from repro.exp.dist.spool import ShardDescriptor, Spool
+from repro.exp.spec import ExperimentSpec, canonical_json_bytes
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}.{os.getpid()}"
+
+
+def _mp_context() -> Any:
+    return multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+
+
+def _child_main(spec: ExperimentSpec, out_queue: Any) -> None:
+    """Run one experiment in isolation; report exactly once."""
+    try:
+        result = spec.run(**spec.params)
+    except BaseException:
+        out_queue.put(("error", traceback.format_exc()))
+    else:
+        out_queue.put(("ok", result))
+
+
+class SpoolWorker:
+    """One claimant process bound to one spool directory."""
+
+    def __init__(
+        self,
+        spool_dir: str,
+        specs: Sequence[ExperimentSpec],
+        worker_id: Optional[str] = None,
+        poll_s: float = 0.2,
+        max_shards: Optional[int] = None,
+        startup_timeout_s: Optional[float] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.spool = Spool(spool_dir)
+        self.specs_by_id = {spec.exp_id: spec for spec in specs}
+        self.worker_id = worker_id or default_worker_id()
+        self.poll_s = poll_s
+        #: Stop after this many completed shards (test hook / drain cap).
+        self.max_shards = max_shards
+        #: How long to wait for a manifest to appear before giving up
+        #: (``None``: wait indefinitely — the two-terminal demo case).
+        self.startup_timeout_s = startup_timeout_s
+        self.progress = progress
+        self.clock = clock
+        self.stats: Dict[str, int] = {
+            "shards": 0, "claim_races_lost": 0, "experiments_ran": 0,
+            "experiments_spool_cached": 0, "experiments_failed": 0,
+            "lease_renewals": 0, "shards_lost": 0,
+        }
+
+    def _say(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(f"[worker {self.worker_id}] {message}")
+
+    # -- top-level loop -------------------------------------------------
+
+    def run(self) -> Dict[str, int]:
+        """Claim and run shards until the sweep completes.
+
+        Exit conditions: the coordinator's ``COMPLETE`` marker, the
+        ``max_shards`` cap, or (before any manifest appears) the
+        ``startup_timeout_s`` budget.
+        """
+        started = self.clock()
+        while True:
+            if self.spool.is_complete():
+                self._say("sweep complete; exiting")
+                return self.stats
+            if self.spool.read_manifest() is None:
+                if (self.startup_timeout_s is not None
+                        and self.clock() - started > self.startup_timeout_s):
+                    self._say("no manifest appeared; exiting")
+                    return self.stats
+                time.sleep(self.poll_s)
+                continue
+            claimed = self._claim_one()
+            if claimed is None:
+                time.sleep(self.poll_s)
+                continue
+            self._run_shard(claimed)
+            self.stats["shards"] += 1
+            if self.max_shards is not None \
+                    and self.stats["shards"] >= self.max_shards:
+                self._say(f"shard cap {self.max_shards} reached; exiting")
+                return self.stats
+
+    def _claim_one(self) -> Optional[ShardDescriptor]:
+        for desc in self.spool.list_todo():
+            if claim_shard(self.spool, desc):
+                self._say(f"claimed {desc.shard} (attempt {desc.attempt})")
+                return desc
+            self.stats["claim_races_lost"] += 1
+        return None
+
+    # -- one shard ------------------------------------------------------
+
+    def _run_shard(self, desc: ShardDescriptor) -> None:
+        lease = LeaseFile(self.spool, desc, self.worker_id, clock=self.clock)
+        lease.acquire()
+        shard_started = self.clock()
+        manifest: Dict[str, Any] = {
+            "shard": desc.shard,
+            "attempt": desc.attempt,
+            "sweep": desc.sweep,
+            "worker": self.worker_id,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "experiments": [],
+            "lease_renewals": 0,
+            "wall_s": 0.0,
+            "completed": False,
+        }
+
+        def checkpoint() -> None:
+            manifest["lease_renewals"] = lease.renewals
+            manifest["wall_s"] = round(self.clock() - shard_started, 6)
+            self.spool.write_provenance(desc, manifest)
+
+        checkpoint()
+        owned = True
+        for exp_id, cache_key in desc.experiments:
+            record = self._run_experiment(desc, exp_id, cache_key, lease)
+            manifest["experiments"].append(record)
+            checkpoint()
+            if record["status"] == "lost_lease":
+                owned = False
+                break
+
+        if owned:
+            manifest["completed"] = all(
+                record["status"] in ("ok", "spool_cached", "failed")
+                for record in manifest["experiments"]
+            )
+            checkpoint()
+            if finish_shard(self.spool, desc):
+                lease.release()
+                self._say(f"finished {desc.shard} "
+                          f"({len(desc.experiments)} experiments, "
+                          f"{manifest['wall_s']:.1f}s)")
+            else:
+                owned = False
+        if not owned:
+            self.stats["shards_lost"] += 1
+            self._say(f"lost {desc.shard} to a reclaim; abandoning")
+        self.stats["lease_renewals"] += lease.renewals
+
+    def _run_experiment(self, desc: ShardDescriptor, exp_id: str,
+                        cache_key: str, lease: LeaseFile) -> Dict[str, Any]:
+        """One experiment within a held lease; returns its provenance
+        record."""
+        record: Dict[str, Any] = {
+            "experiment": exp_id, "status": "failed", "attempts": [],
+        }
+        deposited = self.spool.load_result(exp_id)
+        if deposited is not None and deposited.get("cache_key") == cache_key:
+            record["status"] = "spool_cached"
+            self.stats["experiments_spool_cached"] += 1
+            return record
+
+        spec = self.specs_by_id.get(exp_id)
+        if spec is None:
+            record["attempts"].append({
+                "attempt": 1, "status": "error",
+                "error": f"experiment {exp_id!r} not in this worker's "
+                         f"registry (coordinator/worker code skew?)",
+            })
+            self.stats["experiments_failed"] += 1
+            return record
+        if spec.cache_key() != cache_key:
+            record["attempts"].append({
+                "attempt": 1, "status": "error",
+                "error": f"cache key mismatch for {exp_id}: descriptor "
+                         f"{cache_key}, local spec {spec.cache_key()} — "
+                         f"worker code is out of sync with the coordinator",
+            })
+            self.stats["experiments_failed"] += 1
+            return record
+
+        for attempt in range(1, desc.retries + 2):
+            attempt_started = self.clock()
+            status, payload = self._attempt(spec, lease)
+            wall_s = round(self.clock() - attempt_started, 6)
+            if status == "ok":
+                self.spool.deposit_result(
+                    exp_id, canonical_json_bytes(spec.document(payload)))
+                record["attempts"].append({
+                    "attempt": attempt, "status": "ok", "wall_s": wall_s,
+                })
+                record["status"] = "ok"
+                self.stats["experiments_ran"] += 1
+                self._say(f"[{exp_id}] done ({wall_s:.1f}s)")
+                return record
+            if status == "lost_lease":
+                record["attempts"].append({
+                    "attempt": attempt, "status": "lost_lease",
+                    "wall_s": wall_s,
+                })
+                record["status"] = "lost_lease"
+                return record
+            error = payload if status == "error" else (
+                f"experiment child process died before reporting "
+                f"(exitcode {payload})"
+            )
+            record["attempts"].append({
+                "attempt": attempt, "status": status, "error": error,
+                "wall_s": wall_s,
+            })
+            self._say(f"[{exp_id}] attempt {attempt} {status}")
+        record["status"] = "failed"
+        self.stats["experiments_failed"] += 1
+        return record
+
+    def _attempt(self, spec: ExperimentSpec,
+                 lease: LeaseFile) -> Tuple[str, Any]:
+        """One isolated run of ``spec`` with the lease kept warm.
+
+        Returns ``("ok", result)``, ``("error", traceback)``,
+        ``("died", exitcode)``, or ``("lost_lease", None)``.
+        """
+        context = _mp_context()
+        out_queue = context.Queue()
+        child = context.Process(target=_child_main, args=(spec, out_queue),
+                                daemon=True)
+        child.start()
+        try:
+            while True:
+                try:
+                    status, payload = out_queue.get(timeout=self.poll_s)
+                    child.join()
+                    return status, payload
+                except queue_module.Empty:
+                    pass
+                if not lease.maybe_renew():
+                    child.terminate()
+                    child.join()
+                    return "lost_lease", None
+                if not child.is_alive():
+                    # Child exited: drain the one report it may have
+                    # posted between our poll and its death.
+                    try:
+                        status, payload = out_queue.get(timeout=self.poll_s)
+                        child.join()
+                        return status, payload
+                    except queue_module.Empty:
+                        child.join()
+                        return "died", child.exitcode
+        finally:
+            if child.is_alive():
+                child.terminate()
+                child.join()
+
+
+def worker_entry(spool_dir: str, specs: Sequence[ExperimentSpec],
+                 worker_id: Optional[str] = None, poll_s: float = 0.2,
+                 startup_timeout_s: Optional[float] = None) -> Dict[str, int]:
+    """Module-level entry point for coordinator-spawned local workers
+    (picklable under the ``spawn`` start method)."""
+    worker = SpoolWorker(
+        spool_dir, specs, worker_id=worker_id, poll_s=poll_s,
+        startup_timeout_s=startup_timeout_s,
+    )
+    return worker.run()

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
+import socket
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -50,9 +51,12 @@ class ExperimentFailure:
     shard: int
     #: Total attempts made (first run + retries).
     attempts: int
-    #: Last traceback, or the worker's death notice when it never
-    #: reported back.
+    #: Last traceback, or the worker's death notice (with exit code)
+    #: when it never reported back.
     error: str
+    #: Host the last failing attempt ran on — one sweep can now span
+    #: machines, so "where" is part of the report.
+    host: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -60,6 +64,7 @@ class ExperimentFailure:
             "shard": self.shard,
             "attempts": self.attempts,
             "error": self.error,
+            "host": self.host,
         }
 
 
@@ -76,6 +81,9 @@ class SweepOutcome:
     cached: List[str] = field(default_factory=list)
     #: Experiments that exhausted their retry budget.
     failures: List[ExperimentFailure] = field(default_factory=list)
+    #: Executor-specific bookkeeping (the distributed executor puts its
+    #: ``exp.dist.*`` metrics snapshot here); empty for the local pool.
+    stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -129,10 +137,10 @@ def _run_sharded(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
     )
     out_queue = context.Queue()
+    populated = [shard for shard in shards if shard]
     workers = [
         context.Process(target=_worker_main, args=(shard, out_queue), daemon=True)
-        for shard in shards
-        if shard
+        for shard in populated
     ]
     for worker in workers:
         worker.start()
@@ -159,6 +167,22 @@ def _run_sharded(
                 progress(f"[{exp_id}] FAILED in worker")
     for worker in workers:
         worker.join()
+    # A worker that died without reporting leaves its unresolved
+    # experiments with no traceback at all; synthesize a death notice
+    # carrying what the parent *can* know — the exit code (or signal)
+    # and the host — so the failure that eventually surfaces is more
+    # than "something stopped answering".
+    host = socket.gethostname()
+    for shard, worker in zip(populated, workers):
+        if worker.exitcode == 0:
+            continue
+        for spec in shard:
+            if spec.exp_id in results or spec.exp_id in errors:
+                continue
+            errors[spec.exp_id] = (
+                f"worker process died before reporting a result "
+                f"(exitcode {worker.exitcode}) on host {host}"
+            )
     return results, errors
 
 
@@ -234,5 +258,6 @@ def run_sweep(
                     spec.exp_id,
                     "worker process died before reporting a result",
                 ),
+                host=socket.gethostname(),
             ))
     return outcome

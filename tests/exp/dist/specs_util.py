@@ -1,0 +1,67 @@
+"""Synthetic experiment specs for the distributed-executor tests.
+
+Everything is module-level so specs survive pickling under any
+``multiprocessing`` start method, and every run function is a pure
+function of its arguments (the determinism contract) — except where a
+test *wants* side-channel observability (invocation-count marker
+files) or controlled blocking/crashing, which stay out of the result
+payload so the bytes remain pure.
+"""
+
+import os
+import time
+
+from repro.exp import ExperimentSpec
+
+
+def render_noop(result):
+    return str(result)
+
+
+def run_value(value=0):
+    return {"value": value, "square": value * value}
+
+
+def run_counted(value=0, count_path=""):
+    """Pure result, impure breadcrumb: append one byte per invocation
+    so tests can assert how many times the measurement actually ran."""
+    if count_path:
+        with open(count_path, "a", encoding="utf-8") as handle:
+            handle.write("x")
+    return {"value": value}
+
+
+def run_block_until(release_path="", value=0):
+    """Park until ``release_path`` exists — the knob that lets a test
+    freeze a worker mid-experiment and kill it deterministically."""
+    while not os.path.exists(release_path):
+        time.sleep(0.02)
+    return {"value": value}
+
+
+def run_always_raises():
+    raise ValueError("synthetic experiment defect")
+
+
+def run_exits(code=13):
+    os._exit(code)
+
+
+def make_spec(exp_id, run, params=None, cost=1.0, version=1):
+    return ExperimentSpec(
+        exp_id=exp_id,
+        title=f"synthetic {exp_id}",
+        bench="synthetic.py",
+        run=run,
+        render=render_noop,
+        params=params or {},
+        cost=cost,
+        version=version,
+    )
+
+
+def value_specs(n):
+    return [
+        make_spec(f"V{i}", run_value, params={"value": i}, cost=1.0 + i % 3)
+        for i in range(n)
+    ]

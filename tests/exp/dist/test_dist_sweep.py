@@ -1,0 +1,356 @@
+"""End-to-end distributed sweeps: byte-identity with the serial
+runner, lease-expiry reclaim after a worker is killed mid-experiment,
+resume of an interrupted sweep, gather verification, and failure
+provenance."""
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.exp import ResultCache, run_spool_sweep, run_sweep
+from repro.exp.dist import Spool, SpoolMismatchError, SpoolWorker, worker_entry
+
+from tests.exp.dist.specs_util import (
+    make_spec,
+    run_always_raises,
+    run_block_until,
+    run_counted,
+    run_exits,
+    value_specs,
+)
+
+CONTEXT = multiprocessing.get_context(
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+
+def wait_for(predicate, timeout_s=30.0, poll_s=0.02, message="condition"):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(poll_s)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+# -- byte identity ---------------------------------------------------------
+
+
+def test_spool_sweep_is_byte_identical_to_serial(tmp_path):
+    """The acceptance contract: ``--executor spool`` with three
+    workers writes the same ``results/`` bytes as ``--workers 1``."""
+    specs = value_specs(7)
+    serial = run_sweep(specs, workers=1,
+                       cache=ResultCache(str(tmp_path / "serial")))
+    dist = run_spool_sweep(
+        specs, str(tmp_path / "spool"),
+        cache=ResultCache(str(tmp_path / "dist")),
+        workers=3, shards=3, poll_s=0.05, timeout_s=120,
+    )
+    assert serial.ok and dist.ok
+    assert sorted(serial.ran) == sorted(dist.ran)
+    for spec in specs:
+        name = f"{spec.exp_id}.json"
+        assert (tmp_path / "serial" / name).read_bytes() \
+            == (tmp_path / "dist" / name).read_bytes()
+    shard_counts = dist.stats["dist"]["exp.dist.shards"]
+    assert shard_counts["state=published"] == 3
+    assert shard_counts["state=done"] == 3
+
+
+def test_spool_sweep_serves_coordinator_cache(tmp_path):
+    specs = value_specs(3)
+    cache = ResultCache(str(tmp_path / "results"))
+    first = run_spool_sweep(specs, str(tmp_path / "spool"), cache=cache,
+                            workers=1, poll_s=0.05, timeout_s=120)
+    assert first.ok and sorted(first.ran) == ["V0", "V1", "V2"]
+    # Warm second sweep: all cached, the spool is never consulted
+    # (a fresh spool dir would otherwise raise on the mismatch).
+    second = run_spool_sweep(specs, str(tmp_path / "never-created"),
+                             cache=cache, workers=1, timeout_s=120)
+    assert second.ok and second.ran == []
+    assert sorted(second.cached) == ["V0", "V1", "V2"]
+    assert not os.path.exists(str(tmp_path / "never-created"))
+
+
+# -- lease expiry + contention --------------------------------------------
+
+
+def test_killed_worker_is_reclaimed_and_finished_by_a_second_worker(tmp_path):
+    """Crash tolerance end to end: worker A is SIGKILLed mid-experiment
+    (no chance to clean up), its lease expires, the coordinator
+    republishes the shard, and worker B completes the sweep."""
+    release = tmp_path / "release.flag"
+    specs = [make_spec("BLOCK", run_block_until,
+                       params={"release_path": str(release), "value": 7})]
+    spool_dir = str(tmp_path / "spool")
+    spool = Spool(spool_dir)
+
+    worker_a = CONTEXT.Process(
+        target=worker_entry, args=(spool_dir, specs),
+        kwargs={"worker_id": "wA", "poll_s": 0.05},
+    )
+    worker_a.start()
+
+    outcome = {}
+
+    def coordinate():
+        outcome["result"] = run_spool_sweep(
+            specs, spool_dir, cache=ResultCache(str(tmp_path / "results")),
+            workers=0, shards=1, lease_s=1.0, max_claims=3,
+            poll_s=0.05, timeout_s=120,
+        )
+
+    coordinator = threading.Thread(target=coordinate)
+    coordinator.start()
+    try:
+        # Wait until worker A owns the shard and is inside the
+        # experiment (the lease file appears right after the claim).
+        wait_for(lambda: _lease_owner(spool) == "wA",
+                 message="worker A to claim the shard")
+        os.kill(worker_a.pid, signal.SIGKILL)
+        worker_a.join()
+
+        # Unblock the experiment for whoever runs it next, then bring
+        # in the rescuer.
+        release.write_text("go")
+        worker_b = CONTEXT.Process(
+            target=worker_entry, args=(spool_dir, specs),
+            kwargs={"worker_id": "wB", "poll_s": 0.05},
+        )
+        worker_b.start()
+        coordinator.join(timeout=120)
+        assert not coordinator.is_alive()
+        worker_b.join(timeout=60)
+    finally:
+        if worker_a.is_alive():
+            worker_a.kill()
+        coordinator.join(timeout=5)
+
+    result = outcome["result"]
+    assert result.ok, [f.to_dict() for f in result.failures]
+    assert result.ran == ["BLOCK"]
+    assert result.documents["BLOCK"]["result"] == {"value": 7}
+    shard_counts = result.stats["dist"]["exp.dist.shards"]
+    assert shard_counts.get("state=reclaimed", 0) >= 1
+    # The rescuer's provenance manifest names it as the finisher.
+    history = spool.provenance_for_shard("S00")
+    assert any(m["worker"] == "wB" and m.get("completed") for m in history)
+
+
+def _lease_owner(spool):
+    leases_dir = spool.dir("leases")
+    try:
+        names = os.listdir(leases_dir)
+    except OSError:
+        return None
+    from repro.exp.dist import read_lease
+
+    for name in names:
+        lease = read_lease(os.path.join(leases_dir, name))
+        if lease is not None:
+            return lease.owner
+    return None
+
+
+def test_contending_workers_produce_exactly_one_owner_per_shard(tmp_path):
+    """Four workers, one shard: the rename admits a single claimant,
+    everyone else stays idle, and exactly one provenance manifest
+    exists."""
+    specs = [make_spec("ONLY", run_counted,
+                       params={"value": 3,
+                               "count_path": str(tmp_path / "count")})]
+    spool_dir = str(tmp_path / "spool")
+    workers = [
+        CONTEXT.Process(target=worker_entry, args=(spool_dir, specs),
+                        kwargs={"worker_id": f"w{i}", "poll_s": 0.02})
+        for i in range(4)
+    ]
+    for process in workers:
+        process.start()
+    result = run_spool_sweep(
+        specs, spool_dir, cache=ResultCache(str(tmp_path / "results")),
+        workers=0, shards=1, poll_s=0.05, timeout_s=120,
+    )
+    for process in workers:
+        process.join(timeout=60)
+    assert result.ok and result.ran == ["ONLY"]
+    # Exactly one worker ran the measurement...
+    assert (tmp_path / "count").read_text() == "x"
+    # ... and exactly one attempt manifest exists for the shard.
+    history = Spool(spool_dir).provenance_for_shard("S00")
+    assert len(history) == 1 and history[0]["completed"]
+
+
+# -- resume ----------------------------------------------------------------
+
+
+def test_resumed_sweep_reuses_deposits_and_skips_cached_shards(tmp_path):
+    """Interrupt a sweep after one of two shards finished; the resumed
+    sweep must recompute only the unfinished shard."""
+    count_a, count_b = str(tmp_path / "a.count"), str(tmp_path / "b.count")
+    specs = [
+        make_spec("A", run_counted, params={"value": 1,
+                                            "count_path": count_a},
+                  cost=2.0),
+        make_spec("B", run_counted, params={"value": 2,
+                                            "count_path": count_b},
+                  cost=1.0),
+    ]
+    spool_dir = str(tmp_path / "spool")
+    cache = ResultCache(str(tmp_path / "results"))
+
+    # Phase 1: coordinator publishes both shards but no worker shows
+    # up in time — the sweep "crashes" (times out) unresolved.
+    interrupted = run_spool_sweep(
+        specs, spool_dir, cache=cache, workers=0, shards=2,
+        poll_s=0.05, timeout_s=0.3,
+    )
+    assert not interrupted.ok
+    assert interrupted.stats["timed_out"]
+    assert Spool(spool_dir).is_complete() is False
+
+    # A lone worker drains exactly one shard (the LPT-heavier A) and
+    # stops, as if its host rebooted before claiming more.
+    worker = SpoolWorker(spool_dir, specs, worker_id="half", poll_s=0.02,
+                         max_shards=1, startup_timeout_s=10)
+    worker.run()
+    assert os.path.exists(count_a) and not os.path.exists(count_b)
+
+    # Phase 2: resume against the same spool with a live worker.
+    resumed = run_spool_sweep(
+        specs, spool_dir, cache=cache, workers=1, shards=2,
+        poll_s=0.05, timeout_s=120,
+    )
+    assert resumed.ok, [f.to_dict() for f in resumed.failures]
+    assert sorted(resumed.ran) == ["A", "B"]
+    # A was gathered from its deposit, not recomputed.
+    assert (tmp_path / "a.count").read_text() == "x"
+    assert (tmp_path / "b.count").read_text() == "x"
+
+    # Phase 3: a warm re-sweep is all cache, no spool involvement.
+    warm = run_spool_sweep(specs, spool_dir, cache=cache, workers=0,
+                           timeout_s=120)
+    assert warm.ok and warm.ran == [] and sorted(warm.cached) == ["A", "B"]
+    assert (tmp_path / "a.count").read_text() == "x"
+
+
+def test_spool_refuses_a_different_sweep(tmp_path):
+    spool_dir = str(tmp_path / "spool")
+    first = run_spool_sweep(
+        value_specs(2), spool_dir,
+        cache=ResultCache(str(tmp_path / "r1")),
+        workers=1, poll_s=0.05, timeout_s=120,
+    )
+    assert first.ok
+    with pytest.raises(SpoolMismatchError):
+        run_spool_sweep(
+            [make_spec("OTHER", run_counted)], spool_dir,
+            cache=ResultCache(str(tmp_path / "r2")),
+            workers=0, timeout_s=5,
+        )
+
+
+# -- gather verification + failure provenance ------------------------------
+
+
+def test_gather_rejects_non_canonical_deposits(tmp_path):
+    """A deposit whose bytes do not re-serialize from the
+    coordinator's spec (code skew, torn write) is refused, not
+    silently gathered."""
+    spec = make_spec("V", run_counted, params={"value": 9})
+    spool_dir = str(tmp_path / "spool")
+    cache = ResultCache(str(tmp_path / "results"))
+    # Publish, then have a worker complete the shard...
+    run_spool_sweep([spec], spool_dir, cache=cache, workers=1,
+                    poll_s=0.05, timeout_s=120)
+    spool = Spool(spool_dir)
+    # ... and corrupt the deposit with non-canonical (but valid-JSON,
+    # right-cache-key) bytes, as a skewed worker would write.
+    import json
+
+    document = spool.load_result("V")
+    spool.deposit_result(
+        "V", (json.dumps(document) + "\n").encode("utf-8"))
+    # Resume-gather with an empty coordinator cache: the deposit is
+    # the only source, and it must fail verification.
+    tampered = run_spool_sweep(
+        [spec], spool_dir, cache=ResultCache(str(tmp_path / "results2")),
+        workers=0, poll_s=0.05, timeout_s=5,
+    )
+    assert not tampered.ok
+    (failure,) = tampered.failures
+    assert "verification" in failure.error
+    assert tampered.stats["dist"]["exp.dist.experiments"][
+        "outcome=verify_failed"] == 1
+    assert not os.path.exists(os.path.join(str(tmp_path / "results2"),
+                                           "V.json"))
+
+
+def test_raising_experiment_degrades_with_traceback_and_host(tmp_path):
+    specs = [make_spec("OK", run_counted, params={"value": 1}),
+             make_spec("BAD", run_always_raises)]
+    result = run_spool_sweep(
+        specs, str(tmp_path / "spool"),
+        cache=ResultCache(str(tmp_path / "results")),
+        workers=1, shards=1, poll_s=0.05, timeout_s=120,
+    )
+    assert not result.ok
+    assert result.ran == ["OK"]
+    (failure,) = result.failures
+    assert failure.experiment == "BAD"
+    assert failure.attempts == 2  # first run + one in-worker retry
+    assert "synthetic experiment defect" in failure.error
+    assert failure.host == socket.gethostname()
+
+
+def test_hard_dying_experiment_reports_exitcode_in_provenance(tmp_path):
+    specs = [make_spec("DIE", run_exits, params={"code": 13})]
+    spool_dir = str(tmp_path / "spool")
+    result = run_spool_sweep(
+        specs, spool_dir, cache=ResultCache(str(tmp_path / "results")),
+        workers=1, poll_s=0.05, timeout_s=120,
+    )
+    assert not result.ok
+    (failure,) = result.failures
+    assert "exitcode 13" in failure.error
+    assert failure.host == socket.gethostname()
+    # The provenance manifest carries every attempt, not just the last.
+    history = Spool(spool_dir).provenance_for_shard("S00")
+    (manifest,) = history
+    (record,) = manifest["experiments"]
+    assert [a["status"] for a in record["attempts"]] == ["died", "died"]
+
+
+def test_worker_refuses_skewed_cache_keys(tmp_path):
+    """A worker whose local spec version differs from the descriptor's
+    cache key must not compute under the wrong key."""
+    spec_v1 = make_spec("V", run_counted, params={"value": 1}, version=1)
+    spec_v2 = make_spec("V", run_counted, params={"value": 1}, version=2)
+    spool_dir = str(tmp_path / "spool")
+
+    def coordinate():
+        return run_spool_sweep(
+            [spec_v1], spool_dir,
+            cache=ResultCache(str(tmp_path / "results")),
+            workers=0, poll_s=0.05, timeout_s=15,
+        )
+
+    # The skewed worker claims the shard but refuses the experiment.
+    thread_result = {}
+    coordinator = threading.Thread(
+        target=lambda: thread_result.update(result=coordinate()))
+    coordinator.start()
+    worker = SpoolWorker(spool_dir, [spec_v2], worker_id="skewed",
+                         poll_s=0.02, max_shards=1, startup_timeout_s=10)
+    worker.run()
+    coordinator.join()
+    result = thread_result["result"]
+    assert not result.ok
+    (failure,) = result.failures
+    assert "cache key mismatch" in failure.error

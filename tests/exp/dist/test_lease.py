@@ -1,0 +1,109 @@
+"""Lease mechanics under an injected clock: acquisition, renewal
+cadence, ownership loss, and the coordinator's expiry rules."""
+
+import os
+
+from repro.exp.dist import (
+    LeaseFile,
+    claim_shard,
+    lease_expired,
+    read_lease,
+)
+
+from tests.exp.dist.test_spool_claim import make_desc, make_spool
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def claimed(tmp_path):
+    spool = make_spool(tmp_path)
+    desc = make_desc()  # lease_s = 5.0
+    spool.publish(desc)
+    assert claim_shard(spool, desc)
+    return spool, desc
+
+
+def test_acquire_writes_expiry_and_identity(tmp_path):
+    spool, desc = claimed(tmp_path)
+    clock = FakeClock()
+    lease = LeaseFile(spool, desc, "w1", clock=clock)
+    lease.acquire()
+    stored = read_lease(spool.lease_path(desc))
+    assert stored is not None
+    assert stored.owner == "w1" and stored.attempt == 1
+    assert stored.expires == clock.now + desc.lease_s
+    assert stored.renewals == 0
+
+
+def test_renewal_cadence_and_count(tmp_path):
+    spool, desc = claimed(tmp_path)
+    clock = FakeClock()
+    lease = LeaseFile(spool, desc, "w1", clock=clock)
+    lease.acquire()
+    # Not due yet: no rewrite, still renewal 0.
+    clock.advance(desc.lease_s / 10)
+    assert lease.maybe_renew()
+    assert read_lease(spool.lease_path(desc)).renewals == 0
+    # Past a third of the window: renewed, expiry pushed out.
+    clock.advance(desc.lease_s)
+    assert lease.maybe_renew()
+    stored = read_lease(spool.lease_path(desc))
+    assert stored.renewals == 1
+    assert stored.expires == clock.now + desc.lease_s
+
+
+def test_renewal_detects_ownership_loss(tmp_path):
+    spool, desc = claimed(tmp_path)
+    clock = FakeClock()
+    lease = LeaseFile(spool, desc, "w1", clock=clock)
+    lease.acquire()
+    # The coordinator reclaimed us: lease now names another worker.
+    LeaseFile(spool, desc, "thief", clock=clock).acquire()
+    clock.advance(desc.lease_s)
+    assert not lease.maybe_renew()
+    # ... or the lease file vanished outright.
+    os.unlink(spool.lease_path(desc))
+    assert not lease.maybe_renew()
+
+
+def test_expiry_follows_the_lease_clock(tmp_path):
+    spool, desc = claimed(tmp_path)
+    clock = FakeClock()
+    LeaseFile(spool, desc, "w1", clock=clock).acquire()
+    assert not lease_expired(spool, desc, now=clock.now)
+    assert not lease_expired(spool, desc, now=clock.now + desc.lease_s - 0.1)
+    assert lease_expired(spool, desc, now=clock.now + desc.lease_s + 0.1)
+
+
+def test_missing_lease_expires_via_running_mtime(tmp_path):
+    """A claimant that died between its winning rename and its first
+    lease write is still detected — the running file's age bounds the
+    claim."""
+    spool, desc = claimed(tmp_path)
+    claimed_at = os.stat(spool.running_path(desc)).st_mtime
+    assert not lease_expired(spool, desc, now=claimed_at + 1.0)
+    assert lease_expired(spool, desc, now=claimed_at + desc.lease_s + 1.0)
+
+
+def test_vanished_running_file_is_not_expired(tmp_path):
+    spool, desc = claimed(tmp_path)
+    os.unlink(spool.running_path(desc))
+    assert not lease_expired(spool, desc, now=1e18)
+
+
+def test_release_removes_the_lease(tmp_path):
+    spool, desc = claimed(tmp_path)
+    lease = LeaseFile(spool, desc, "w1")
+    lease.acquire()
+    lease.release()
+    assert read_lease(spool.lease_path(desc)) is None
+    lease.release()  # idempotent

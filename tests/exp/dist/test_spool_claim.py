@@ -1,0 +1,159 @@
+"""The spool's claim protocol: atomic rename exclusivity, generation
+fencing, and requeue/retire semantics."""
+
+import os
+import threading
+
+from repro.exp.dist import (
+    ShardDescriptor,
+    Spool,
+    claim_shard,
+    finish_shard,
+    requeue_shard,
+    retire_shard,
+    sweep_identity,
+)
+
+
+def make_desc(shard="S00", attempt=1, exps=(("V0", "k0"), ("V1", "k1"))):
+    return ShardDescriptor(
+        shard=shard, sweep="deadbeef", attempt=attempt, max_claims=3,
+        retries=1, lease_s=5.0, experiments=tuple(exps),
+    )
+
+
+def make_spool(tmp_path):
+    spool = Spool(str(tmp_path / "spool"))
+    spool.ensure_layout()
+    return spool
+
+
+def test_descriptor_round_trip():
+    desc = make_desc()
+    clone = ShardDescriptor.from_dict(desc.to_dict())
+    assert clone == desc
+    assert clone.file_name == "S00.a1.json"
+    assert desc.with_attempt(2).file_name == "S00.a2.json"
+    assert desc.exp_ids() == ["V0", "V1"]
+
+
+def test_publish_and_list_round_trip(tmp_path):
+    spool = make_spool(tmp_path)
+    descs = [make_desc(f"S{i:02d}") for i in (2, 0, 1)]
+    for desc in descs:
+        spool.publish(desc)
+    listed = spool.list_todo()
+    assert [d.shard for d in listed] == ["S00", "S01", "S02"]
+    assert all(d == make_desc(d.shard) for d in listed)
+    assert spool.list_running() == [] and spool.list_done() == []
+
+
+def test_exactly_one_racer_claims(tmp_path):
+    """The heart of the protocol: N concurrent claimants, one winner."""
+    spool = make_spool(tmp_path)
+    desc = make_desc()
+    spool.publish(desc)
+    outcomes = [None] * 16
+    barrier = threading.Barrier(len(outcomes))
+
+    def racer(index):
+        barrier.wait()
+        outcomes[index] = claim_shard(spool, desc)
+
+    threads = [threading.Thread(target=racer, args=(i,))
+               for i in range(len(outcomes))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert outcomes.count(True) == 1
+    assert spool.list_todo() == []
+    assert [d.shard for d in spool.list_running()] == ["S00"]
+
+
+def test_finish_moves_running_to_done(tmp_path):
+    spool = make_spool(tmp_path)
+    desc = make_desc()
+    spool.publish(desc)
+    assert claim_shard(spool, desc)
+    assert finish_shard(spool, desc)
+    assert spool.list_running() == []
+    assert [d.shard for d in spool.list_done()] == ["S00"]
+    # Double-finish (or a fenced zombie) fails instead of raising.
+    assert not finish_shard(spool, desc)
+
+
+def test_requeue_bumps_attempt_and_fences_the_zombie(tmp_path):
+    spool = make_spool(tmp_path)
+    desc = make_desc()
+    spool.publish(desc)
+    assert claim_shard(spool, desc)
+
+    successor = requeue_shard(spool, desc)
+    assert successor is not None and successor.attempt == 2
+    assert [d.attempt for d in spool.list_todo()] == [2]
+    # The zombie claimant of generation 1 can no longer finish: its
+    # generation was renamed away, and generation 2 lives at a
+    # different path entirely.
+    assert not finish_shard(spool, desc)
+    # The new generation claims and finishes normally.
+    assert claim_shard(spool, successor)
+    assert finish_shard(spool, successor)
+    assert [d.attempt for d in spool.list_done()] == [2]
+
+
+def test_requeue_of_finished_shard_is_a_noop(tmp_path):
+    spool = make_spool(tmp_path)
+    desc = make_desc()
+    spool.publish(desc)
+    assert claim_shard(spool, desc)
+    assert finish_shard(spool, desc)
+    assert requeue_shard(spool, desc) is None
+    assert spool.list_todo() == []
+
+
+def test_retire_removes_without_republish(tmp_path):
+    spool = make_spool(tmp_path)
+    desc = make_desc()
+    spool.publish(desc)
+    assert claim_shard(spool, desc)
+    assert retire_shard(spool, desc)
+    assert spool.list_todo() == [] and spool.list_running() == []
+    assert not os.path.exists(spool.lease_path(desc))
+    assert not retire_shard(spool, desc)
+
+
+def test_result_deposit_is_atomic_and_idempotent(tmp_path):
+    spool = make_spool(tmp_path)
+    payload = b'{"cache_key": "k", "result": 1}\n'
+    spool.deposit_result("V0", payload)
+    spool.deposit_result("V0", payload)  # racing generation, same bytes
+    with open(spool.result_path("V0"), "rb") as handle:
+        assert handle.read() == payload
+    assert spool.load_result("V0") == {"cache_key": "k", "result": 1}
+    assert spool.load_result("MISSING") is None
+
+
+def test_provenance_history_is_per_attempt(tmp_path):
+    spool = make_spool(tmp_path)
+    first, second = make_desc(), make_desc(attempt=2)
+    spool.write_provenance(first, {"worker": "a", "attempt": 1})
+    spool.write_provenance(second, {"worker": "b", "attempt": 2})
+    history = spool.provenance_for_shard("S00")
+    assert [m["worker"] for m in history] == ["a", "b"]
+    assert spool.provenance_for_shard("S99") == []
+
+
+def test_sweep_identity_is_order_insensitive_and_key_sensitive():
+    pairs = [("A", "k1"), ("B", "k2")]
+    assert sweep_identity(pairs) == sweep_identity(list(reversed(pairs)))
+    assert sweep_identity(pairs) != sweep_identity([("A", "k1"), ("B", "k3")])
+
+
+def test_complete_marker_lifecycle(tmp_path):
+    spool = make_spool(tmp_path)
+    assert not spool.is_complete()
+    spool.mark_complete()
+    assert spool.is_complete()
+    spool.clear_complete()
+    assert not spool.is_complete()

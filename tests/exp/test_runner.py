@@ -36,6 +36,10 @@ def run_always_raises():
     raise ValueError("synthetic experiment defect")
 
 
+def run_always_exits(code=13):
+    os._exit(code)
+
+
 def make_spec(exp_id, run, params=None, cost=1.0):
     return ExperimentSpec(
         exp_id=exp_id,
@@ -137,5 +141,23 @@ def test_retry_budget_exhaustion_degrades_to_structured_failure(tmp_path):
     assert failure.attempts == 2
     assert "synthetic experiment defect" in failure.error
     assert failure.to_dict()["experiment"] == "BAD"
+    assert failure.host  # death notices carry the host they died on
     # The failed experiment left no (stale) result file behind.
     assert not (tmp_path / "BAD.json").exists()
+
+
+def test_dead_worker_failure_reports_exitcode_and_host(tmp_path):
+    """A worker that hard-dies on every attempt degrades into a
+    structured failure naming the exit code and host — not a bare
+    'no result' shrug."""
+    import socket
+
+    specs = [make_spec("DIE", run_always_exits, params={"code": 13})]
+    outcome = run_sweep(specs, workers=1, cache=ResultCache(str(tmp_path)),
+                        retries=1)
+    assert not outcome.ok
+    (failure,) = outcome.failures
+    assert failure.experiment == "DIE"
+    assert "exitcode 13" in failure.error
+    assert failure.host == socket.gethostname()
+    assert failure.to_dict()["host"] == socket.gethostname()

@@ -98,6 +98,88 @@ def test_sweep_cli_rejects_unknown_ids(tmp_path, capsys):
     assert "NOPE" in capsys.readouterr().err
 
 
+def test_sweep_cli_rejects_empty_only_selection(tmp_path, capsys):
+    """``--only ","`` used to silently sweep nothing with exit 0; an
+    empty selection must now fail loudly, listing the known ids."""
+    code = main([
+        "sweep", "--only", ",",
+        "--results-dir", str(tmp_path), "--out", str(tmp_path / "E.md"),
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "selected no experiments" in err
+    assert "T1" in err  # the known-ids list is part of the message
+
+
+def _sweep_subparser():
+    parser = build_parser()
+    (subparsers,) = [
+        action for action in parser._actions
+        if hasattr(action, "choices") and action.choices
+    ]
+    return subparsers.choices["sweep"]
+
+
+def test_sweep_distributed_flags_registered_and_documented():
+    """The distributed-executor surface: flag drift gate plus README
+    coverage for the user-facing pieces."""
+    flags = _option_strings(_sweep_subparser())
+    assert {
+        "--executor", "--spool-dir", "--hosts", "--lease-s",
+        "--max-claims", "--shards", "--worker", "--worker-id",
+        "--worker-startup-timeout", "--remote-python",
+    } <= flags
+    (action,) = [a for a in _sweep_subparser()._actions
+                 if "--executor" in a.option_strings]
+    assert set(action.choices) == {"local", "spool", "ssh"}
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for flag in ("--executor", "--spool-dir", "--hosts", "--worker"):
+        assert flag in readme, (
+            f"README.md does not document the `{flag}` sweep flag"
+        )
+
+
+def test_sweep_cli_requires_spool_dir_for_spool_executor(tmp_path, capsys):
+    code = main([
+        "sweep", "--executor", "spool", "--only", "T1",
+        "--results-dir", str(tmp_path), "--out", str(tmp_path / "E.md"),
+    ])
+    assert code == 2
+    assert "--spool-dir" in capsys.readouterr().err
+
+
+def test_sweep_cli_requires_hosts_for_ssh_executor(tmp_path, capsys):
+    code = main([
+        "sweep", "--executor", "ssh", "--only", "T1",
+        "--spool-dir", str(tmp_path / "spool"),
+        "--results-dir", str(tmp_path), "--out", str(tmp_path / "E.md"),
+    ])
+    assert code == 2
+    assert "--hosts" in capsys.readouterr().err
+
+
+def test_sweep_cli_spool_round_trip(tmp_path, capsys):
+    """The CLI spool path end to end: coordinator + two in-process
+    workers over a fresh spool recompute T1 byte-identically."""
+    results_dir = tmp_path / "results"
+    shutil.copytree(REPO_ROOT / "results", results_dir)
+    out = tmp_path / "EXPERIMENTS.md"
+    code = main([
+        "sweep", "--only", "T1", "--force",
+        "--executor", "spool", "--spool-dir", str(tmp_path / "spool"),
+        "--workers", "2",
+        "--results-dir", str(results_dir), "--out", str(out),
+    ])
+    assert code == 0
+    assert (results_dir / "T1.json").read_bytes() \
+        == (REPO_ROOT / "results" / "T1.json").read_bytes()
+    assert out.read_bytes() \
+        == (REPO_ROOT / "EXPERIMENTS.md").read_bytes()
+    stdout = capsys.readouterr().out
+    assert "1 ran" in stdout
+    assert "spool executor" in stdout
+
+
 def test_sweep_cli_render_only_requires_results(tmp_path, capsys):
     code = main([
         "sweep", "--render-only",
