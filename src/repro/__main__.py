@@ -1,5 +1,5 @@
 """Command-line entry points:
-``python -m repro [check|stats|trace|bench-perf|sweep]``.
+``python -m repro [check|stats|trace|bench-perf|sweep|report]``.
 
 - ``check`` (default) — thirty-second installation self-check: builds
   a small cluster, exercises every §2.2 primitive, measures the §3.2
@@ -20,6 +20,10 @@
   from (``--worker`` turns this same CLI into such a worker), or the
   spool plus an ssh fan-out that starts one worker per ``--hosts``
   entry (:mod:`repro.exp.dist`).
+- ``report`` — the evaluation pipeline (:mod:`repro.analysis.results`):
+  folds every grid family's cached points into one plot-ready
+  ``results/aggregates/<family>.json`` and prints the summary tables;
+  ``--check`` is the CI drift gate over the committed aggregates.
 
 ``--profile`` wraps any command in :mod:`cProfile` and prints the top
 twenty entries by cumulative time.
@@ -314,21 +318,46 @@ def cmd_sweep(args) -> int:
 
     if args.list:
         from repro.analysis.tables import MarkdownTable
+        from repro.exp import default_grids
 
-        table = MarkdownTable(
-            ["id", "title", "provenance", "cost", "cached"])
-        for spec in specs:
-            table.add_row(spec.exp_id, spec.title, spec.provenance,
-                          spec.cost,
-                          "yes" if cache.lookup(spec) else "no")
-        print(table.render())
+        flat = [spec for spec in specs if not spec.is_grid_point]
+        if flat:
+            table = MarkdownTable(
+                ["id", "title", "provenance", "cost", "cached"])
+            for spec in flat:
+                table.add_row(spec.exp_id, spec.title, spec.provenance,
+                              spec.cost,
+                              "yes" if cache.lookup(spec) else "no")
+            print(table.render())
+        selected = {spec.exp_id for spec in specs}
+        families = []
+        for grid in default_grids():
+            points = [p for p in grid.expand() if p.exp_id in selected]
+            if points:
+                families.append((grid, points))
+        if families:
+            if flat:
+                print()
+            table = MarkdownTable(
+                ["family", "title", "axes", "points", "cached"])
+            for grid, points in families:
+                axes = ", ".join(
+                    f"{axis}[{len(values)}]"
+                    for axis, values in grid.axes.items())
+                cached = sum(1 for p in points if cache.lookup(p))
+                table.add_row(f"{grid.family}/*", grid.title, axes,
+                              len(points), f"{cached}/{len(points)}")
+            print(table.render())
         return 0
 
+    from repro.analysis.monitors import SweepMonitor
+
+    monitor = SweepMonitor(emit=print)
     if not args.render_only:
         if args.executor == "local":
             outcome = run_sweep(
                 specs, workers=args.workers, cache=cache, force=args.force,
-                retries=args.retries, progress=print,
+                retries=args.retries, progress=monitor,
             )
         else:
             from repro.exp.dist import SpoolMismatchError, SSHLauncher, run_spool_sweep
@@ -355,7 +384,7 @@ def cmd_sweep(args) -> int:
                     specs, args.spool_dir, cache=cache, force=args.force,
                     workers=args.workers, shards=args.shards or None,
                     lease_s=args.lease_s, max_claims=args.max_claims,
-                    retries=args.retries, progress=print,
+                    retries=args.retries, progress=monitor,
                     launcher=launcher,
                 )
             except SpoolMismatchError as exc:
@@ -366,6 +395,8 @@ def cmd_sweep(args) -> int:
               f"{len(outcome.failures)} failed "
               f"({args.executor} executor, {args.workers} "
               f"worker{'s' if args.workers != 1 else ''})")
+        if monitor.families:
+            print(monitor.summary())
         for failure in outcome.failures:
             where = f" on {failure.host}" if failure.host else ""
             print(f"  FAILED {failure.experiment} "
@@ -388,6 +419,63 @@ def cmd_sweep(args) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(document)
     print(f"wrote {args.out} from {args.results_dir}/")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Fold the committed grid-point results into plot-ready
+    aggregates (``results/aggregates/<family>.json``) and print the
+    family summary tables; ``--check`` verifies the committed
+    aggregates instead of rewriting them (the CI drift gate)."""
+    from repro.analysis.results import (
+        AggregateError,
+        aggregate_family,
+        check_aggregate,
+        render_grid_summary,
+        write_aggregate,
+    )
+    from repro.exp import default_grids
+
+    grids = default_grids()
+    if args.only:
+        wanted = {part.strip().upper().rstrip("/*")
+                  for chunk in args.only for part in chunk.split(",")
+                  if part.strip()}
+        known = {grid.family.upper() for grid in grids}
+        unknown = sorted(wanted - known)
+        if unknown:
+            print(f"report: unknown grid families {unknown}; known: "
+                  f"{sorted(grid.family for grid in grids)}",
+                  file=sys.stderr)
+            return 2
+        grids = [g for g in grids if g.family.upper() in wanted]
+
+    stale = []
+    for grid in grids:
+        try:
+            aggregate = aggregate_family(grid, args.results_dir)
+        except AggregateError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 1
+        if args.check:
+            problem = check_aggregate(aggregate, args.results_dir)
+            if problem:
+                stale.append(problem)
+                continue
+        else:
+            write_aggregate(aggregate, args.results_dir)
+        print(render_grid_summary(aggregate, grid.caveat))
+        print()
+    if args.check:
+        for problem in stale:
+            print(f"report: {problem}", file=sys.stderr)
+        if stale:
+            return 1
+        print(f"report: {len(grids)} aggregates up to date "
+              f"({args.results_dir}/aggregates/)")
+    else:
+        print(f"report: wrote {len(grids)} aggregates to "
+              f"{args.results_dir}/aggregates/")
     return 0
 
 
@@ -531,6 +619,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "experiments (X1/X2) restricted to one "
                               "backend and print the tables without "
                               "touching results/ or EXPERIMENTS.md")
+
+    p_report = sub.add_parser(
+        "report",
+        help="aggregate the grid-point results into plot-ready "
+             "results/aggregates/<family>.json and print the family "
+             "summary tables",
+    )
+    p_report.add_argument("--results-dir", default="results",
+                          help="results cache directory "
+                               "(default: results)")
+    p_report.add_argument("--only", action="append", default=[],
+                          metavar="FAMILIES",
+                          help="aggregate only these grid families "
+                               "(comma-separated, repeatable; 'T2' and "
+                               "'T2/*' both mean the T2 family)")
+    p_report.add_argument("--check", action="store_true",
+                          help="verify the committed aggregates are "
+                               "byte-identical to the recomputed ones "
+                               "instead of rewriting them (exit 1 on "
+                               "drift)")
     return parser
 
 
@@ -547,6 +655,8 @@ def main(argv=None) -> int:
             return cmd_bench_perf(args)
         if args.command == "sweep":
             return cmd_sweep(args)
+        if args.command == "report":
+            return cmd_report(args)
         return self_check()
 
     if not args.profile:

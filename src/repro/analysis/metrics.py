@@ -1,0 +1,55 @@
+"""Metric extraction from result documents.
+
+The grid aggregates need every point's result reduced to flat numeric
+series; this module is that reduction.  It is deliberately structural —
+no per-experiment knowledge — so any result document a measurement
+returns becomes plot-ready without touching the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+#: Separator for nested result keys (``"host.round_ns"``).
+METRIC_SEPARATOR = "."
+
+
+def is_numeric(value: Any) -> bool:
+    """A plottable scalar: int or float, *not* bool (bools are flags,
+    and ``True`` silently plotting as 1.0 hides bugs)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def flatten_metrics(result: Mapping[str, Any],
+                    prefix: str = "") -> Dict[str, float]:
+    """Every numeric leaf of ``result`` under a dotted path, in the
+    document's own key order.
+
+    Lists are skipped: a list in a result is an unnamed sweep (S3's
+    full-size sweep, X1's per-node points) and belongs to a flat
+    claim's renderer, not a grid series — grid points are the named
+    form of that iteration.
+    """
+    out: Dict[str, float] = {}
+    for key, value in result.items():
+        path = f"{prefix}{METRIC_SEPARATOR}{key}" if prefix else str(key)
+        if is_numeric(value):
+            out[path] = value
+        elif isinstance(value, Mapping):
+            out.update(flatten_metrics(value, prefix=path))
+    return out
+
+
+def series_for(points: "list[Dict[str, float]]") -> Dict[str, list]:
+    """Column-major view of per-point flat metrics: ``metric -> one
+    value per point`` (``None`` where a point lacks the metric), with
+    metrics ordered by first appearance across points."""
+    names: list = []
+    for metrics in points:
+        for name in metrics:
+            if name not in names:
+                names.append(name)
+    return {
+        name: [metrics.get(name) for metrics in points]
+        for name in names
+    }

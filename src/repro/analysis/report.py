@@ -273,20 +273,52 @@ def render_caveats_section(specs: Sequence[Any]) -> str:
     return "\n".join(lines)
 
 
+_GRID_SECTION_INTRO = """\
+## Grid families
+
+Each family sweeps one claim along a parameter axis; every point is an
+ordinary cached experiment under `results/<family>/`, and
+`python -m repro report` folds the family into one plot-ready aggregate
+under `results/aggregates/` (regenerated here, CI drift-gated like the
+sections above).  Grids are declared in
+`src/repro/exp/experiments/grids.py`."""
+
+
+def render_grid_sections(
+    results_dir: str = "results",
+    grids: Optional[Sequence[Any]] = None,
+) -> List[str]:
+    """The "Grid families" parts of EXPERIMENTS.md: the intro plus one
+    summary-table subsection per declared family."""
+    from repro.analysis.results import family_summaries
+
+    summaries = family_summaries(grids, results_dir)
+    return [_GRID_SECTION_INTRO] + [text for _, text in summaries]
+
+
 def render_experiments_md(
     results_dir: str = "results",
     specs: Optional[Sequence[Any]] = None,
+    grids: Optional[Sequence[Any]] = None,
 ) -> str:
-    """The full EXPERIMENTS.md text, from the committed results."""
-    if specs is None:
-        from repro.exp.registry import default_registry
+    """The full EXPERIMENTS.md text, from the committed results.
 
-        specs = default_registry()
+    Flat per-claim sections come from ``specs`` (default: the flat
+    registry, grid points excluded — points are data for the family
+    summaries, not sections); the grid-family summary tables come from
+    ``grids`` (default: every declared family).
+    """
+    if specs is None:
+        from repro.exp.registry import flat_specs
+
+        specs = flat_specs()
     parts = [_EXPERIMENTS_HEADER, "---"]
     parts.extend(
         render_experiment_section(spec, load_result_document(results_dir, spec))
         for spec in specs
     )
+    parts.append("---")
+    parts.extend(render_grid_sections(results_dir, grids))
     parts.append("---")
     parts.append(render_caveats_section(specs))
     return "\n\n".join(parts) + "\n"

@@ -31,7 +31,14 @@ any worker count.
 
 from repro.exp.cache import DEFAULT_RESULTS_DIR, ResultCache
 from repro.exp.dist import run_spool_sweep
-from repro.exp.registry import default_registry, select, spec_map
+from repro.exp.grid import GridSpec, expand_grids
+from repro.exp.registry import (
+    default_grids,
+    default_registry,
+    flat_specs,
+    select,
+    spec_map,
+)
 from repro.exp.runner import (
     DEFAULT_RETRIES,
     ExperimentFailure,
@@ -51,12 +58,16 @@ __all__ = [
     "DEFAULT_RETRIES",
     "ExperimentFailure",
     "ExperimentSpec",
+    "GridSpec",
     "PROVENANCES",
     "ResultCache",
     "SCHEMA_VERSION",
     "SweepOutcome",
     "canonical_json_bytes",
+    "default_grids",
     "default_registry",
+    "expand_grids",
+    "flat_specs",
     "run_spool_sweep",
     "run_sweep",
     "select",

@@ -59,7 +59,9 @@ class ResultCache:
         serial-vs-parallel byte-identity contract.
         """
         document = spec.document(result)
-        os.makedirs(self.results_dir, exist_ok=True)
+        # Grid-point ids (``T2/link_prop_ns=200``) map to a family
+        # subdirectory of the results dir.
+        os.makedirs(os.path.dirname(self.path(spec.exp_id)), exist_ok=True)
         tmp_path = self.path(spec.exp_id) + ".tmp"
         with open(tmp_path, "wb") as fh:
             fh.write(canonical_json_bytes(document))

@@ -138,6 +138,9 @@ def write_json_atomic(path: str, document: Dict[str, Any]) -> None:
 
 def write_bytes_atomic(path: str, payload: bytes) -> None:
     directory = os.path.dirname(path) or "."
+    # Grid-point result ids carry a family subdirectory
+    # (``results/T2/...``) that a fresh spool has not created yet.
+    os.makedirs(directory, exist_ok=True)
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:

@@ -24,10 +24,10 @@ DEFAULT_SIZES: List[Optional[int]] = [1, 2, 4, 8, 16, 32, None]
 
 def _run_with_cache(entries: Optional[int], burst: int,
                     bursts: int) -> Dict[str, Any]:
-    from repro.api import Cluster, ClusterConfig
+    from repro.exp.scenario import make_cluster
 
-    cluster = Cluster(ClusterConfig(n_nodes=3, protocol="telegraphos",
-                                    cache_entries=entries))
+    cluster = make_cluster(n_nodes=3, protocol="telegraphos",
+                           cache_entries=entries)
     seg = cluster.alloc_segment(home=0, pages=1, name="page")
     writer = cluster.create_process(node=1, name="writer")
     base = writer.map(seg, mode="replica")
@@ -64,6 +64,13 @@ def run(sizes: Optional[List[Optional[int]]] = None, burst: int = 24,
         "sweep": [_run_with_cache(entries, burst, bursts)
                   for entries in sizes]
     }
+
+
+def run_point(burst: int, bursts: int = 4,
+              entries: Optional[int] = 16) -> Dict[str, Any]:
+    """One grid point: a single CAM size against a single burst shape
+    (the S3/* family sweeps ``burst`` at the paper's 16-entry cache)."""
+    return _run_with_cache(entries, burst, bursts)
 
 
 def render(result: Dict[str, Any]) -> str:

@@ -29,61 +29,49 @@ POLICY_LABELS = {
 }
 
 
-def _run_stream(pattern, threshold: Optional[int]) -> Dict[str, Any]:
-    """Run an access stream from node 0 against pages homed at 1.
+def _stream_scenario(kind: str, accesses: int, n_pages: int, seed: int,
+                     threshold: Optional[int]):
+    """Declare one access-stream run as a scenario.
     ``threshold=None`` disables replication."""
-    from repro.api import Cluster, ClusterConfig
+    from repro.exp.scenario import ScenarioSpec
 
-    cluster = Cluster(ClusterConfig(
-        n_nodes=2,
-        protocol="telegraphos",
-        replication_threshold=threshold,
-    ))
-    seg = cluster.alloc_segment(home=1, pages=pattern.n_pages, name="data")
-    proc = cluster.create_process(node=0, name="reader")
-    base = proc.map(seg)
-    if threshold is not None:
-        for page in range(pattern.n_pages):
-            cluster.node(0).replication.watch(1, seg.gpage + page, threshold)
-    page_bytes = cluster.amap.page_bytes
-    latencies = []
-
-    def program(p):
-        for page, offset, is_write in pattern.accesses:
-            vaddr = base + page * page_bytes + offset
-            start = cluster.now
-            if is_write:
-                yield p.store(vaddr, offset)
-            else:
-                yield p.load(vaddr)
-            latencies.append(cluster.now - start)
-            yield p.think(5_000)  # inter-access compute
-
-    cluster.run_programs([cluster.start(proc, program)])
-    replications = (
-        cluster.node(0).replication.replications if threshold is not None else 0
+    return ScenarioSpec(
+        name=f"s6.{kind}.threshold={threshold}",
+        workload="patterns",
+        cluster={"n_nodes": 2, "protocol": "telegraphos",
+                 "replication_threshold": threshold},
+        params={"kind": kind, "accesses": accesses, "n_pages": n_pages,
+                "hot_fraction": 0.9, "seed": seed,
+                "watch_threshold": threshold},
+        description="§2.2.6 access stream vs a replication policy",
     )
+
+
+def _run_stream(scenario) -> Dict[str, Any]:
+    from repro.exp.scenario import run_scenario
+
+    result = run_scenario(scenario)["result"]
     return {
-        "mean_us": sum(latencies) / len(latencies) / 1000.0,
-        "tail_us": sum(latencies[-100:]) / len(latencies[-100:]) / 1000.0,
-        "replications": replications,
-        "makespan_us": cluster.now / 1000.0,
+        "mean_us": result["mean_ns"] / 1000.0,
+        "tail_us": result["tail_ns"] / 1000.0,
+        "replications": result["replications"],
+        "makespan_us": result["makespan_ns"] / 1000.0,
     }
 
 
 def run(accesses: int = 400, threshold: int = 32,
         seed: int = 11) -> Dict[str, Any]:
-    from repro.workloads import hot_page_stream, uniform_stream
-
-    hot = hot_page_stream(accesses, n_pages=4, hot_fraction=0.9, seed=seed)
+    hot = dict(kind="hot_page", accesses=accesses, n_pages=4, seed=seed)
     # Spread over 16 pages: ~25 accesses per page, below the alarm
     # threshold — no page is hot enough to be worth replicating.
-    uniform = uniform_stream(accesses, n_pages=16, seed=seed)
+    uniform = dict(kind="uniform", accesses=accesses, n_pages=16, seed=seed)
     return {
         "threshold": threshold,
-        "hot_no_replication": _run_stream(hot, threshold=None),
-        "hot_alarm": _run_stream(hot, threshold=threshold),
-        "uniform_alarm": _run_stream(uniform, threshold=threshold),
+        "hot_no_replication": _run_stream(
+            _stream_scenario(threshold=None, **hot)),
+        "hot_alarm": _run_stream(_stream_scenario(threshold=threshold, **hot)),
+        "uniform_alarm": _run_stream(
+            _stream_scenario(threshold=threshold, **uniform)),
     }
 
 

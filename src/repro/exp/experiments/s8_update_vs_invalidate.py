@@ -24,37 +24,56 @@ from repro.exp.spec import ExperimentSpec
 MODES = ("replica", "remote")
 
 
-def _run_pc(mode: str) -> Dict[str, Any]:
-    from repro.api import Cluster, ClusterConfig
-    from repro.workloads import run_producer_consumer
+def _protocol(mode: str) -> str:
+    return "telegraphos" if mode == "replica" else "none"
 
-    protocol = "telegraphos" if mode == "replica" else "none"
-    cluster = Cluster(ClusterConfig(n_nodes=3, protocol=protocol))
-    result = run_producer_consumer(
-        cluster, producer_node=0, consumer_nodes=[1, 2],
-        batches=4, words_per_batch=16, sharing=mode,
+
+def _pc_scenario(mode: str):
+    from repro.exp.scenario import ScenarioSpec
+
+    return ScenarioSpec(
+        name=f"s8.producer_consumer.{mode}",
+        workload="producer_consumer",
+        cluster={"n_nodes": 3, "protocol": _protocol(mode)},
+        params={"producer_node": 0, "consumer_nodes": [1, 2],
+                "batches": 4, "words_per_batch": 16, "sharing": mode},
+        collect=("coherence",),
+        description="§2.3.6 producer/consumer under one sharing policy",
     )
-    updates = sum(e.stats["updates_sent"] for e in cluster.engines.values())
+
+
+def _mig_scenario(mode: str):
+    from repro.exp.scenario import ScenarioSpec
+
+    return ScenarioSpec(
+        name=f"s8.migratory.{mode}",
+        workload="migratory",
+        cluster={"n_nodes": 3, "protocol": _protocol(mode)},
+        params={"rounds_per_node": 3, "words": 8, "sharing": mode},
+        description="§2.3.6 migratory sharing under one sharing policy",
+    )
+
+
+def _run_pc(mode: str) -> Dict[str, Any]:
+    from repro.exp.scenario import run_scenario
+
+    out = run_scenario(_pc_scenario(mode))
     return {
-        "read_us": result.consumer_read_ns.mean / 1000.0,
-        "makespan_us": result.makespan_ns / 1000.0,
-        "updates": updates,
+        "read_us": out["result"]["consumer_read_ns"]["mean"] / 1000.0,
+        "makespan_us": out["result"]["makespan_ns"] / 1000.0,
+        "updates": out["collected"]["coherence"]["updates_sent"],
     }
 
 
 def _run_mig(mode: str) -> Dict[str, Any]:
-    from repro.api import Cluster, ClusterConfig
-    from repro.workloads import run_migratory
+    from repro.exp.scenario import run_scenario
 
-    protocol = "telegraphos" if mode == "replica" else "none"
-    cluster = Cluster(ClusterConfig(n_nodes=3, protocol=protocol))
-    result = run_migratory(
-        cluster, rounds_per_node=3, words=8, sharing=mode,
-    )
-    assert result.final_sum == result.expected_sum, "lost updates!"
+    out = run_scenario(_mig_scenario(mode))
+    result = out["result"]
+    assert result["final_sum"] == result["expected_sum"], "lost updates!"
     return {
-        "makespan_us": result.makespan_ns / 1000.0,
-        "updates": result.total_updates_sent,
+        "makespan_us": result["makespan_ns"] / 1000.0,
+        "updates": result["total_updates_sent"],
     }
 
 

@@ -11,7 +11,7 @@ elapsed time divided by count.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.analysis.tables import MarkdownTable
 from repro.exp.spec import ExperimentSpec
@@ -23,25 +23,29 @@ PAPER_READ_US = 7.2
 TOLERANCE = 0.10
 
 
-def _two_node_setup():
-    from repro.api import Cluster, ClusterConfig
+def _two_node_setup(link_prop_ns: Optional[int] = None):
+    from repro.exp.scenario import make_cluster
 
-    cluster = Cluster(ClusterConfig(n_nodes=2, trace=False))
+    wiring: Dict[str, Any] = {"n_nodes": 2, "trace": False}
+    if link_prop_ns is not None:
+        wiring["timing"] = {"link_prop_ns": link_prop_ns}
+    cluster = make_cluster(**wiring)
     segment = cluster.alloc_segment(home=1, pages=2, name="bench")
     proc = cluster.create_process(node=0, name="bench")
     base = proc.map(segment)
     return cluster, proc, base
 
 
-def run(ops: int = 10_000) -> Dict[str, Any]:
+def run(ops: int = 10_000,
+        link_prop_ns: Optional[int] = None) -> Dict[str, Any]:
     from repro.analysis import measure_op_stream, us
 
-    cluster, proc, base = _two_node_setup()
+    cluster, proc, base = _two_node_setup(link_prop_ns)
     write_us = us(measure_op_stream(
         cluster, proc, lambda i: proc.store(base + 4 * (i % 1024), i),
         count=ops,
     ))
-    cluster, proc, base = _two_node_setup()
+    cluster, proc, base = _two_node_setup(link_prop_ns)
     read_us = us(measure_op_stream(
         cluster, proc, lambda i: proc.load(base + 4 * (i % 1024)),
         count=ops, fence_at_end=False,

@@ -55,6 +55,22 @@ def _barrier_round_ns(n_nodes: int, backend: str, rounds: int) -> Dict[str, Any]
         }
 
 
+def run_point(nodes: int, rounds: int = 2) -> Dict[str, Any]:
+    """One grid point: both barrier backends at a single node count
+    (the X1/* family sweeps ``nodes``)."""
+    host = _barrier_round_ns(nodes, "host", rounds)
+    nic = _barrier_round_ns(nodes, "nic", rounds)
+    return {
+        "nodes": nodes,
+        "rounds": rounds,
+        "host": host,
+        "nic": nic,
+        "host_round_us": host["round_ns"] / 1000.0,
+        "nic_round_us": nic["round_ns"] / 1000.0,
+        "speedup": host["round_ns"] / nic["round_ns"],
+    }
+
+
 def run(nodes: Sequence[int] = (2, 4, 8, 16, 32, 64), rounds: int = 2,
         backends: Tuple[str, ...] = ("host", "nic")) -> Dict[str, Any]:
     points = []

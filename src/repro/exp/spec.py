@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
+import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping
 
@@ -35,6 +37,79 @@ SCHEMA_VERSION = 1
 #: calibrated model; ``model`` — a parametric (non-timing) model such as
 #: the gate-count inventory.
 PROVENANCES = ("fit", "emergent", "model")
+
+
+#: Experiment ids are file paths under ``results/`` (grid points use a
+#: ``family/axis=value`` segment), so the alphabet is pinned to what is
+#: safe in a path segment on every platform we care about.
+_EXP_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._=,+-]*(/[A-Za-z0-9._=,+-]+)*$")
+
+
+def validate_exp_id(exp_id: str) -> str:
+    """Check that ``exp_id`` is usable as a relative results path.
+
+    ``/`` separates a grid family from its point suffix and maps to a
+    results subdirectory; anything that could escape the results tree
+    (absolute paths, ``..`` segments, empty segments) is rejected here,
+    once, instead of at every path join.
+    """
+    if not _EXP_ID_RE.match(exp_id):
+        raise ValueError(
+            f"experiment id {exp_id!r} is not path-safe; expected "
+            "[A-Za-z0-9._=,+-] segments separated by '/'"
+        )
+    if any(segment == ".." for segment in exp_id.split("/")):
+        raise ValueError(f"experiment id {exp_id!r} contains '..'")
+    return exp_id
+
+
+def canonical_key_material(value: Any) -> Any:
+    """Normalise a params tree for cache-key hashing.
+
+    ``json.dumps`` alone is not a stable identity for params:
+
+    - floats round-trip through ``repr``, which is stable on one
+      CPython but a documented non-guarantee across implementations —
+      and ``0.1`` vs ``0.1000000000000000055511151231257827`` *must*
+      hash identically (same double) while ``1`` vs ``1.0`` must not
+      alias the int.  Floats are therefore replaced by a tagged IEEE-754
+      hex form (``float.hex`` is exact and implementation-independent).
+    - non-string dict keys silently coerce (``{1: x}`` collides with
+      ``{"1": x}``) or make ``sort_keys`` raise on mixed types; they
+      are rejected outright.
+    - tuples and lists serialise identically, so tuples are normalised
+      to lists (a spec author writing ``nodes=(2, 4)`` vs ``[2, 4]``
+      means the same experiment).
+
+    NaN and infinities have no canonical JSON form and are rejected.
+    The transform is identity for the int/str/bool/None trees every
+    pre-grid spec uses, so historical cache keys are unchanged.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(
+                f"non-finite float {value!r} cannot enter a cache key"
+            )
+        return {"__float__": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_key_material(item) for item in value]
+    if isinstance(value, Mapping):
+        out = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise ValueError(
+                    f"cache-key dict keys must be str, got {key!r} "
+                    f"({type(key).__name__}); non-string keys alias "
+                    "their str() form under JSON"
+                )
+            out[key] = canonical_key_material(value[key])
+        return out
+    raise ValueError(
+        f"value {value!r} ({type(value).__name__}) is not JSON-safe "
+        "cache-key material"
+    )
 
 
 def canonical_json_bytes(document: Mapping[str, Any]) -> bytes:
@@ -82,16 +157,27 @@ class ExperimentSpec:
     cost: float = 1.0
 
     def __post_init__(self) -> None:
+        validate_exp_id(self.exp_id)
         if self.provenance not in PROVENANCES:
             raise ValueError(
                 f"{self.exp_id}: provenance {self.provenance!r} not in "
                 f"{PROVENANCES}"
             )
 
+    @property
+    def family(self) -> str:
+        """Grid family prefix for point specs (``"T2"`` for
+        ``"T2/link_prop_ns=200"``); the full id for flat specs."""
+        return self.exp_id.split("/", 1)[0]
+
+    @property
+    def is_grid_point(self) -> bool:
+        return "/" in self.exp_id
+
     def cache_key(self) -> str:
         material = {
             "experiment": self.exp_id,
-            "params": self.params,
+            "params": canonical_key_material(self.params),
             "schema": SCHEMA_VERSION,
             "spec_version": self.version,
         }

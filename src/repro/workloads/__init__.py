@@ -16,7 +16,13 @@ pattern the paper discusses:
 
 from repro.workloads.hotspot import run_hotspot_counter
 from repro.workloads.migratory import run_migratory
-from repro.workloads.patterns import AccessPattern, hot_page_stream, uniform_stream
+from repro.workloads.patterns import (
+    AccessPattern,
+    PatternRunResult,
+    hot_page_stream,
+    play_pattern,
+    uniform_stream,
+)
 from repro.workloads.producer_consumer import run_producer_consumer
 from repro.workloads.traces import (
     Trace,
@@ -29,11 +35,13 @@ from repro.workloads.traces import (
 
 __all__ = [
     "AccessPattern",
+    "PatternRunResult",
     "Trace",
     "TracePlayer",
     "TraceRecord",
     "false_sharing_trace",
     "hot_page_stream",
+    "play_pattern",
     "private_pages_trace",
     "run_hotspot_counter",
     "run_migratory",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 Access = Tuple[int, int, bool]  # (page, byte offset in page, is_write)
 
@@ -46,6 +46,96 @@ def uniform_stream(n_accesses: int, n_pages: int, write_fraction: float = 0.3,
         accesses.append((page, offset, rng.random() < write_fraction))
     return AccessPattern(tuple(accesses), n_pages, seed,
                          f"uniform over {n_pages} pages")
+
+
+@dataclass
+class PatternRunResult:
+    """What playing one access stream on a cluster produced."""
+
+    makespan_ns: int
+    mean_ns: float
+    tail_ns: float
+    replications: int
+    accesses: int
+    description: str
+
+
+def play_pattern(
+    cluster,
+    kind: str = "hot_page",
+    accesses: int = 400,
+    n_pages: int = 4,
+    hot_fraction: float = 0.9,
+    write_fraction: Optional[float] = None,
+    seed: int = 42,
+    think_ns: int = 5_000,
+    watch_threshold: Optional[int] = None,
+    home: int = 1,
+    reader_node: int = 0,
+    tail: int = 100,
+) -> PatternRunResult:
+    """Generate a seeded access stream and play it against remote
+    pages — the §2.2.6 replication workload as a registered scenario
+    factory.
+
+    ``kind`` selects the generator (``"hot_page"`` or ``"uniform"``);
+    ``write_fraction=None`` keeps each generator's own default.  When
+    ``watch_threshold`` is set, every page is armed for alarm-based
+    replication at that access count (the cluster must be built with a
+    matching ``replication_threshold``).
+    """
+    if kind == "hot_page":
+        fraction = 0.1 if write_fraction is None else write_fraction
+        pattern = hot_page_stream(
+            accesses, n_pages=n_pages, hot_fraction=hot_fraction,
+            write_fraction=fraction, seed=seed,
+        )
+    elif kind == "uniform":
+        fraction = 0.3 if write_fraction is None else write_fraction
+        pattern = uniform_stream(
+            accesses, n_pages=n_pages, write_fraction=fraction, seed=seed,
+        )
+    else:
+        raise KeyError(
+            f"unknown pattern kind {kind!r}; expected 'hot_page' or "
+            "'uniform'"
+        )
+
+    seg = cluster.alloc_segment(home=home, pages=pattern.n_pages,
+                                name="data")
+    proc = cluster.create_process(node=reader_node, name="reader")
+    base = proc.map(seg)
+    if watch_threshold is not None:
+        for page in range(pattern.n_pages):
+            cluster.node(reader_node).replication.watch(
+                home, seg.gpage + page, watch_threshold)
+    page_bytes = cluster.amap.page_bytes
+    latencies: List[int] = []
+
+    def program(p):
+        for page, offset, is_write in pattern.accesses:
+            vaddr = base + page * page_bytes + offset
+            start = cluster.now
+            if is_write:
+                yield p.store(vaddr, offset)
+            else:
+                yield p.load(vaddr)
+            latencies.append(cluster.now - start)
+            yield p.think(think_ns)  # inter-access compute
+
+    cluster.run_programs([cluster.start(proc, program)])
+    replications = (
+        cluster.node(reader_node).replication.replications
+        if watch_threshold is not None else 0
+    )
+    return PatternRunResult(
+        makespan_ns=cluster.now,
+        mean_ns=sum(latencies) / len(latencies),
+        tail_ns=sum(latencies[-tail:]) / len(latencies[-tail:]),
+        replications=replications,
+        accesses=len(pattern),
+        description=pattern.description,
+    )
 
 
 def hot_page_stream(n_accesses: int, n_pages: int, hot_fraction: float = 0.9,

@@ -1,0 +1,115 @@
+"""The scenario registry: factory registration, declarative cluster
+wiring, and run_scenario determinism."""
+
+import pytest
+
+from repro.exp.scenario import (
+    ScenarioSpec,
+    collector,
+    make_cluster,
+    register_workload,
+    run_scenario,
+    workload_factory,
+    workload_names,
+)
+
+
+def test_builtin_workloads_are_registered():
+    assert workload_names() == [
+        "hotspot", "migratory", "patterns", "producer_consumer", "traces",
+    ]
+    for name in workload_names():
+        assert callable(workload_factory(name))
+    for name in ("coherence", "hib"):
+        assert callable(collector(name))
+
+
+def test_unknown_names_raise_with_known_ones():
+    with pytest.raises(KeyError, match="hotspot"):
+        workload_factory("nope")
+    with pytest.raises(KeyError, match="coherence"):
+        collector("nope")
+
+
+def test_reregistration_is_an_error():
+    """Scenario specs address factories by name; silently replacing a
+    factory would change what a committed spec means."""
+    with pytest.raises(ValueError, match="already registered"):
+        register_workload("patterns", lambda cluster: None)
+    # Re-registering the *same* callable is idempotent (module reload).
+    register_workload("patterns", workload_factory("patterns"))
+
+
+def test_make_cluster_applies_timing_overrides():
+    from repro.params import DEFAULT_PARAMS
+
+    cluster = make_cluster(n_nodes=2, timing={"link_prop_ns": 999})
+    assert cluster.params.timing.link_prop_ns == 999
+    plain = make_cluster(n_nodes=2)
+    assert plain.params.timing.link_prop_ns \
+        == DEFAULT_PARAMS.timing.link_prop_ns
+
+
+def test_scenario_spec_round_trips_through_plain_data():
+    scenario = ScenarioSpec(
+        name="t", workload="migratory",
+        cluster={"n_nodes": 3, "protocol": "none"},
+        params={"rounds_per_node": 2, "words": 8, "sharing": "remote"},
+        collect=("coherence",), description="d",
+    )
+    assert ScenarioSpec.from_dict(scenario.to_dict()) == scenario
+
+
+def test_run_scenario_is_deterministic_and_collects():
+    scenario = ScenarioSpec(
+        name="pc", workload="producer_consumer",
+        cluster={"n_nodes": 3, "protocol": "telegraphos"},
+        params={"producer_node": 0, "consumer_nodes": [1, 2],
+                "batches": 2, "words_per_batch": 8, "sharing": "replica"},
+        collect=("coherence", "hib"),
+    )
+    first = run_scenario(scenario)
+    second = run_scenario(scenario)
+    assert first == second
+    assert first["scenario"] == "pc"
+    assert first["workload"] == "producer_consumer"
+    assert first["result"]["consumer_read_ns"]["count"] > 0
+    assert first["collected"]["coherence"]["updates_sent"] > 0
+    assert first["collected"]["hib"]["packets_served"] > 0
+
+
+def test_run_scenario_overrides_replace_params():
+    base = ScenarioSpec(
+        name="mig", workload="migratory",
+        cluster={"n_nodes": 3, "protocol": "none"},
+        params={"rounds_per_node": 2, "words": 4, "sharing": "remote"},
+    )
+    short = run_scenario(base)
+    long = run_scenario(base, rounds_per_node=4)
+    assert long["result"]["expected_sum"] > short["result"]["expected_sum"]
+
+
+def test_patterns_scenario_rejects_unknown_kind():
+    scenario = ScenarioSpec(
+        name="bad", workload="patterns",
+        cluster={"n_nodes": 2, "protocol": "telegraphos"},
+        params={"kind": "zigzag", "accesses": 10},
+    )
+    with pytest.raises(KeyError, match="zigzag"):
+        run_scenario(scenario)
+
+
+def test_traces_scenario_plays_study_traces():
+    scenario = ScenarioSpec(
+        name="study", workload="traces",
+        cluster={"n_nodes": 3, "protocol": "telegraphos"},
+        params={"trace": "false_sharing", "refs": 4},
+    )
+    document = run_scenario(scenario)
+    assert document["result"]  # the player returns a result document
+    with pytest.raises(KeyError, match="false_sharing"):
+        run_scenario(ScenarioSpec(
+            name="bad", workload="traces",
+            cluster={"n_nodes": 3},
+            params={"trace": "nope"},
+        ))

@@ -19,7 +19,8 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
-EXPECTED_COMMANDS = {"check", "stats", "trace", "bench-perf", "sweep"}
+EXPECTED_COMMANDS = {"check", "stats", "trace", "bench-perf", "sweep",
+                     "report"}
 
 
 def registered_commands():
@@ -178,6 +179,66 @@ def test_sweep_cli_spool_round_trip(tmp_path, capsys):
     stdout = capsys.readouterr().out
     assert "1 ran" in stdout
     assert "spool executor" in stdout
+
+
+def test_sweep_cli_list_shows_grid_families(capsys):
+    code = main(["sweep", "--list",
+                 "--results-dir", str(REPO_ROOT / "results")])
+    assert code == 0
+    out = capsys.readouterr().out
+    for family in ("T2/*", "S3/*", "X1/*", "W1/*", "W2/*"):
+        assert family in out, family
+    # Point counts and cache status per family.
+    assert "| 4 | 4/4 |" in out
+    assert "| 5 | 5/5 |" in out
+
+
+def test_sweep_cli_list_respects_family_globs(capsys):
+    code = main(["sweep", "--list", "--only", "W1/*",
+                 "--results-dir", str(REPO_ROOT / "results")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "W1/*" in out
+    assert "T2/*" not in out
+
+
+# -- repro report ----------------------------------------------------------
+
+
+def test_report_cli_check_passes_on_committed_aggregates(capsys):
+    code = main(["report", "--check",
+                 "--results-dir", str(REPO_ROOT / "results")])
+    assert code == 0
+    assert "aggregates up to date" in capsys.readouterr().out
+
+
+def test_report_cli_regenerates_committed_aggregates(tmp_path, capsys):
+    results_dir = tmp_path / "results"
+    shutil.copytree(REPO_ROOT / "results", results_dir)
+    shutil.rmtree(results_dir / "aggregates")
+    code = main(["report", "--results-dir", str(results_dir)])
+    assert code == 0
+    for family in ("T2", "S3", "X1", "W1", "W2"):
+        name = f"aggregates/{family}.json"
+        assert (results_dir / name).read_bytes() \
+            == (REPO_ROOT / "results" / name).read_bytes()
+    assert "wrote 5 aggregates" in capsys.readouterr().out
+
+
+def test_report_cli_check_fails_on_missing_aggregates(tmp_path, capsys):
+    results_dir = tmp_path / "results"
+    shutil.copytree(REPO_ROOT / "results", results_dir)
+    shutil.rmtree(results_dir / "aggregates")
+    code = main(["report", "--check", "--results-dir", str(results_dir)])
+    assert code == 1
+    assert "missing" in capsys.readouterr().err
+
+
+def test_report_cli_rejects_unknown_family(capsys):
+    code = main(["report", "--only", "Z9",
+                 "--results-dir", str(REPO_ROOT / "results")])
+    assert code == 2
+    assert "Z9" in capsys.readouterr().err
 
 
 def test_sweep_cli_render_only_requires_results(tmp_path, capsys):
