@@ -126,16 +126,18 @@ def build_faults(args) -> "dict | None":
 def demo_run(n_nodes: int, protocol: str, topology: str,
              trace_lanes: bool = False,
              profile_kernel: bool = True,
-             faults=None, collectives: str = "host") -> Cluster:
+             faults=None, collectives: str = "host",
+             routing: str = "tree") -> Cluster:
     """A small all-to-all workload that lights up every subsystem:
     each node streams writes into a shared segment on node 0, reads a
     neighbour's slot, bumps a shared total with a remote atomic, and
     finishes at a cluster-wide collective barrier (``--collectives``
-    selects the host counter path or the NIC combining tree)."""
+    selects the host counter path or the NIC combining tree;
+    ``--routing`` the fabric routing mode)."""
     config = ClusterConfig(
         n_nodes=n_nodes, protocol=protocol, topology=topology,
         trace_lanes=trace_lanes, profile_kernel=profile_kernel,
-        faults=faults, collectives=collectives,
+        faults=faults, collectives=collectives, routing=routing,
     )
     with Cluster(config) as cluster:
         seg = cluster.alloc_segment(home=0, pages=1, name="demo")
@@ -164,7 +166,8 @@ def demo_run(n_nodes: int, protocol: str, topology: str,
 def cmd_stats(args) -> int:
     cluster = demo_run(args.nodes, args.protocol, args.topology,
                        faults=build_faults(args),
-                       collectives=args.collectives)
+                       collectives=args.collectives,
+                       routing=args.routing)
     print(cluster.report().render())
     stats = cluster.stats()
     print()
@@ -189,7 +192,8 @@ def cmd_trace(args) -> int:
     cluster = demo_run(args.nodes, args.protocol, args.topology,
                        trace_lanes=True, profile_kernel=False,
                        faults=build_faults(args),
-                       collectives=args.collectives)
+                       collectives=args.collectives,
+                       routing=args.routing)
     doc = export_chrome_trace(cluster, path=args.out)
     lanes = {(e["pid"], e["tid"]) for e in doc["traceEvents"]
              if e.get("ph") == "X"}
@@ -464,7 +468,7 @@ def cmd_report(args) -> int:
                 continue
         else:
             write_aggregate(aggregate, args.results_dir)
-        print(render_grid_summary(aggregate, grid.caveat))
+        print(render_grid_summary(aggregate, grid.caveat, grid.preamble))
         print()
     if args.check:
         for problem in stale:
@@ -498,7 +502,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--protocol", default="telegraphos",
                        help="coherence protocol (default: telegraphos)")
         p.add_argument("--topology", default="star",
-                       help="fabric topology (default: star)")
+                       help="fabric topology: star, chain, ring, mesh, "
+                            "torus, torus3d (default: star)")
+        p.add_argument("--routing", choices=("tree", "dor", "adaptive"),
+                       default="tree",
+                       help="fabric routing mode: up*/down* spanning "
+                            "tree (tree, any topology), dimension-order "
+                            "(dor) or minimal-adaptive (adaptive); dor/"
+                            "adaptive require --topology torus|torus3d "
+                            "(default: tree)")
         p.add_argument("--collectives", choices=("host", "nic"),
                        default="host",
                        help="collective-operation backend: software "

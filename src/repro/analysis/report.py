@@ -74,24 +74,53 @@ class ClusterReport:
 
     def link_table(self, top: int = 8) -> Table:
         table = Table(
-            ["link", "packets", "bytes", "busy (us)"],
+            ["link", "packets", "bytes", "busy (us)", "util %"],
             title=f"Busiest links (top {top})",
         )
+        now = self.cluster.now
         stats = self.cluster.fabric.link_stats()
         ranked = sorted(stats.items(), key=lambda kv: -kv[1]["busy_ns"])
         for name, s in ranked[:top]:
             if s["packets"] == 0:
                 continue
             table.add_row(name, s["packets"], s["bytes"],
-                          s["busy_ns"] / 1000.0)
+                          s["busy_ns"] / 1000.0,
+                          round(100.0 * s["busy_ns"] / now, 2) if now
+                          else 0.0)
         return table
 
     def switch_table(self) -> Table:
+        """Tree fabrics report shared-buffer pressure; torus fabrics
+        (``routing="dor"``/``"adaptive"``) report routing-decision
+        counters and the queue depths the adaptive router saw."""
+        fabric = self.cluster.fabric
+        if any(plane for plane in fabric.torus_switches.values()):
+            table = Table(
+                ["switch", "plane", "packets routed", "adaptive",
+                 "escape", "datelines", "queue depth (mean/p99)"],
+                title="Switches",
+            )
+            for vc, plane in sorted(fabric.torus_switches.items()):
+                for switch_id, switch in sorted(
+                        plane.items(), key=lambda kv: repr(kv[0])):
+                    depths = switch.queue_depth
+                    depth_cell = (
+                        f"{depths.summary()['mean']:.2f}/"
+                        f"{depths.summary()['p99']:.0f}"
+                        if depths.count else "-"
+                    )
+                    table.add_row(str(switch_id), vc,
+                                  switch.packets_routed,
+                                  switch.adaptive_hops,
+                                  switch.escape_hops,
+                                  switch.datelines_crossed,
+                                  depth_cell)
+            return table
         table = Table(
             ["switch", "plane", "packets routed", "peak buffer"],
             title="Switches",
         )
-        for vc, plane in sorted(self.cluster.fabric.switches.items()):
+        for vc, plane in sorted(fabric.switches.items()):
             for switch_id, switch in sorted(plane.items(), key=lambda kv: repr(kv[0])):
                 table.add_row(str(switch_id), vc, switch.packets_routed,
                               switch.peak_buffer_use)

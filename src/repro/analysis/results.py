@@ -159,7 +159,8 @@ def summary_table(aggregate: Dict[str, Any]) -> MarkdownTable:
     return table
 
 
-def render_grid_summary(aggregate: Dict[str, Any], caveat: str = "") -> str:
+def render_grid_summary(aggregate: Dict[str, Any], caveat: str = "",
+                        preamble: str = "") -> str:
     """The EXPERIMENTS.md subsection for one family."""
     family = aggregate["family"]
     lines = [
@@ -168,9 +169,13 @@ def render_grid_summary(aggregate: Dict[str, Any], caveat: str = "") -> str:
         f"[`results/aggregates/{family}.json`]"
         f"(results/aggregates/{family}.json), points under "
         f"[`results/{family}/`](results/{family}/)",
+    ]
+    if preamble:
+        lines.extend(["", preamble])
+    lines.extend([
         "",
         summary_table(aggregate).render(),
-    ]
+    ])
     if aggregate["base_params"]:
         fixed = ", ".join(
             f"{key}={value}"
@@ -195,5 +200,6 @@ def family_summaries(
     out: List[Tuple[Dict[str, Any], str]] = []
     for grid in grids:
         aggregate = aggregate_family(grid, results_dir)
-        out.append((aggregate, render_grid_summary(aggregate, grid.caveat)))
+        out.append((aggregate, render_grid_summary(
+            aggregate, grid.caveat, getattr(grid, "preamble", ""))))
     return out

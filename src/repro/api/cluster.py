@@ -127,6 +127,7 @@ class Cluster:
         self.fabric = Fabric(
             self.sim, self.params, by_name(config.topology, config.n_nodes),
             tracer=self.tracer, injector=self.injector,
+            routing=config.routing,
         )
         self.directory = SharingDirectory(self.params.sizing.page_bytes)
         self.nodes: List[Workstation] = [
@@ -389,6 +390,7 @@ class Cluster:
                     m.gauge_fn(f"coherence.counter_cache.{key}",
                                lambda c=cache, k=key: getattr(c, k),
                                node=nid)
+        sim = self.sim
         for link in self.fabric.links:
             m.gauge_fn("net.link.packets",
                        lambda lk=link: lk.packets_carried, link=link.name)
@@ -398,6 +400,14 @@ class Cluster:
                        lambda lk=link: lk.busy_ns, link=link.name)
             m.gauge_fn("net.link.queue_depth",
                        lambda lk=link: len(lk.src), link=link.name)
+            # Share of elapsed simulated time the link spent clocking
+            # bits — the per-link utilization the A2 fabric ablation
+            # compares (0.0 before the simulation advances).
+            m.gauge_fn(
+                "net.link.utilization_pct",
+                lambda lk=link: (round(100.0 * lk.busy_ns / sim.now, 3)
+                                 if sim.now else 0.0),
+                link=link.name)
         for vc, plane in self.fabric.switches.items():
             for switch_id, switch in plane.items():
                 tags = {"switch": str(switch_id), "plane": vc}
@@ -407,6 +417,21 @@ class Cluster:
                            lambda s=switch: s.peak_buffer_use, **tags)
                 m.gauge_fn("net.switch.buffer_stalls",
                            lambda s=switch: s.buffer_stalls, **tags)
+        for vc, tplane in self.fabric.torus_switches.items():
+            for switch_id, tswitch in tplane.items():
+                tags = {"switch": str(switch_id), "plane": vc}
+                for key in tswitch.stats:
+                    m.gauge_fn(f"net.switch.{key}",
+                               lambda s=tswitch, k=key: s.stats[k], **tags)
+                # Queue depths sampled at routing decisions, as a
+                # count/mean/percentile summary dict (empty switches
+                # report {"count": 0}).
+                m.gauge_fn(
+                    "net.switch.queue_depth",
+                    lambda s=tswitch: (s.queue_depth.summary()
+                                       if s.queue_depth.count
+                                       else {"count": 0}),
+                    **tags)
 
     # -- verification helpers ------------------------------------------------------
 

@@ -35,6 +35,14 @@ class ClusterConfig:
       (see :func:`repro.coherence.make_engine`).
     - ``topology`` — fabric topology name
       (see :func:`repro.network.topology.by_name`).
+    - ``routing`` — fabric routing mode: ``"tree"`` (up*/down*
+      spanning-tree tables — works on every topology, the default),
+      ``"dor"`` (deterministic dimension-order routing) or
+      ``"adaptive"`` (minimal-adaptive, backpressure-aware port
+      selection with DOR escape channels).  The latter two route on
+      switch coordinates and therefore require a torus topology
+      (``topology="torus"`` or ``"torus3d"``); see
+      :mod:`repro.network.adaptive` and DESIGN.md §10.
     - ``params`` — timing/sizing/packet parameters
       (``None`` = :data:`~repro.params.DEFAULT_PARAMS`).
     - ``cache_entries`` — counter-cache entries per node
@@ -79,6 +87,7 @@ class ClusterConfig:
     n_nodes: int = 2
     protocol: str = "none"
     topology: str = "star"
+    routing: str = "tree"
     params: Optional[Params] = None
     trace: bool = True
     cache_entries: Optional[int] = 32
@@ -94,6 +103,11 @@ class ClusterConfig:
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        if self.routing not in ("tree", "dor", "adaptive"):
+            raise ValueError(
+                f"unknown routing mode {self.routing!r}; "
+                "expected 'tree', 'dor' or 'adaptive'"
+            )
         if self.collectives not in ("host", "nic"):
             raise ValueError(
                 f"unknown collectives backend {self.collectives!r}; "

@@ -18,6 +18,10 @@ plot-ready families ``repro report`` aggregates:
 - **W2/** — alarm-based replication (§2.2.6) vs stream skew
   (``hot_fraction`` is a float axis), exercising the registered
   ``patterns`` scenario factory.
+- **A2/** — the topology ablation as a routing-mode family: the same
+  4×4 torus under tree (up*/down* over the torus graph), deterministic
+  dimension-order, and backpressure-adaptive routing, each under clean
+  hotspot traffic and a seeded fault soak (DESIGN.md §10).
 
 Every ``run``/``render`` here is a module-level function: grid points
 travel to pool workers (and, under spawn, must pickle by reference).
@@ -113,6 +117,53 @@ def run_patterns_point(hot_fraction: float, threshold: int = 32,
     }
 
 
+def run_fabric_point(routing: str, traffic: str, n_nodes: int = 24,
+                     increments_per_node: int = 6) -> Dict[str, Any]:
+    """One A2 point: the hotspot counter on a torus fabric under one
+    routing mode, optionally soaked in seeded packet faults.
+
+    ``routing="tree"`` runs up*/down* over a spanning tree of the same
+    torus graph the other two modes use, so the family isolates the
+    routing discipline — not the wiring.  The fault-soak variant keeps
+    the go-back-N reliability layer on and asserts the counter total is
+    exact, which doubles as a termination/livelock check for the
+    adaptive router.
+    """
+    from repro.exp.scenario import ScenarioSpec, run_scenario
+
+    faults = None
+    if traffic == "fault_soak":
+        faults = {"seed": 11, "drop_rate": 0.002,
+                  "duplicate_rate": 0.001, "reliability": True}
+    elif traffic != "hotspot":
+        raise ValueError(f"unknown traffic pattern {traffic!r}")
+    scenario = ScenarioSpec(
+        name=f"a2.fabric.{routing}.{traffic}",
+        workload="hotspot",
+        cluster={"n_nodes": n_nodes, "topology": "torus",
+                 "routing": routing, "faults": faults},
+        params={"increments_per_node": increments_per_node},
+        collect=("network", "hib"),
+        description="torus routing-mode grid point (DESIGN.md §10)",
+    )
+    out = run_scenario(scenario)
+    result = out["result"]
+    if result["final_value"] != result["expected_value"]:
+        raise AssertionError(
+            f"lost increments under routing={routing!r} "
+            f"traffic={traffic!r}: {result['final_value']} != "
+            f"{result['expected_value']}"
+        )
+    return {
+        "routing": routing,
+        "traffic": traffic,
+        "makespan_us": result["makespan_ns"] / 1000.0,
+        "atomic_mean_us": result["atomic_ns"]["mean"] / 1000.0,
+        "network": out["collected"]["network"],
+        "hib": out["collected"]["hib"],
+    }
+
+
 #: EXPERIMENTS.md grid-summary order.
 GRIDS: List[GridSpec] = [
     GridSpec(
@@ -198,7 +249,40 @@ GRIDS: List[GridSpec] = [
         summary_metrics=("mean_us", "tail_us", "replications",
                          "tail_speedup"),
     ),
+    GridSpec(
+        family="A2",
+        title="Torus routing modes under hotspot and fault-soak traffic",
+        bench="benchmarks/bench_ablation_topology.py",
+        run=run_fabric_point,
+        render=render_point,
+        axes={"routing": ["tree", "dor", "adaptive"],
+              "traffic": ["hotspot", "fault_soak"]},
+        base={"n_nodes": 24, "increments_per_node": 6},
+        provenance="emergent",
+        caveat="Torus fabrics and adaptive routing are an extension "
+               "beyond the paper's Figure 1 layouts; the "
+               "dateline/escape deadlock argument is documented in "
+               "DESIGN.md §10.",
+        preamble="All three modes run the same 24-host 4×4 torus (2 "
+                 "hosts per switch): `tree` routes up\\*/down\\* over a "
+                 "spanning tree of the torus graph, `dor` "
+                 "dimension-ordered over the wraparound links, and "
+                 "`adaptive` picks among minimal ports by "
+                 "instantaneous queue depth with a dateline escape "
+                 "network (DESIGN.md §10).  The fault-soak rows re-run "
+                 "each mode under seeded packet drops and duplicates "
+                 "with the go-back-N reliability layer on — the "
+                 "counter total is asserted exact, so a row existing "
+                 "at all is the termination/livelock check.",
+        version=1,
+        cost=1.5,
+        summary_metrics=("makespan_us",
+                         "network.peak_link_utilization_pct",
+                         "network.mean_link_utilization_pct",
+                         "network.adaptive_hops",
+                         "network.escape_hops"),
+    ),
 ]
 
-__all__ = ["GRIDS", "render_point", "run_migratory_point",
-           "run_patterns_point"]
+__all__ = ["GRIDS", "render_point", "run_fabric_point",
+           "run_migratory_point", "run_patterns_point"]

@@ -68,6 +68,11 @@ class GridSpec:
     base: Mapping[str, Any] = field(default_factory=dict)
     provenance: str = "emergent"
     caveat: str = ""
+    #: Optional prose paragraph rendered above the family's summary
+    #: table in EXPERIMENTS.md — what the sweep *shows*, not just what
+    #: it varies.  Not part of the aggregate JSON (aggregates carry
+    #: data; the narrative lives with the grid declaration).
+    preamble: str = ""
     #: Bumping invalidates every point of the family at once.
     version: int = 1
     #: Per-point LPT cost hint.

@@ -144,8 +144,51 @@ def _load_builtins() -> None:
                 s.hib.stats["packets_served"] for s in stations),
         }
 
+    def collect_network(cluster: Any) -> Dict[str, Any]:
+        """Fabric-level counters: per-link utilization extremes plus
+        the torus routing-decision counters (zero on tree fabrics).
+        All values derive from integer simulation counters, so the
+        document is deterministic across executors and kernels."""
+        fabric = cluster.fabric
+        now = cluster.now
+        links = fabric.links
+        peak_busy = max((link.busy_ns for link in links), default=0)
+        total_busy = sum(link.busy_ns for link in links)
+        torus = [
+            sw for plane in fabric.torus_switches.values()
+            for sw in plane.values()
+        ]
+        depth_count = sum(sw.queue_depth.count for sw in torus)
+        depth_total = sum(sw.queue_depth.total for sw in torus)
+        depth_max = max(
+            (sw.queue_depth.maximum for sw in torus if sw.queue_depth.count),
+            default=0,
+        )
+        return {
+            "packets_routed": fabric.total_packets_routed,
+            "links": len(links),
+            "peak_link_utilization_pct": (
+                round(100.0 * peak_busy / now, 4) if now else 0.0),
+            "mean_link_utilization_pct": (
+                round(100.0 * total_busy / (len(links) * now), 4)
+                if now and links else 0.0),
+            "adaptive_hops": sum(sw.adaptive_hops for sw in torus),
+            "escape_hops": sum(sw.escape_hops for sw in torus),
+            "datelines_crossed": sum(
+                sw.datelines_crossed for sw in torus),
+            "escape_fallbacks": sum(
+                sw.escape_fallbacks for sw in torus),
+            "queue_depth": {
+                "count": depth_count,
+                "mean": (round(depth_total / depth_count, 4)
+                         if depth_count else None),
+                "max": depth_max,
+            },
+        }
+
     register_collector("coherence", collect_coherence)
     register_collector("hib", collect_hib)
+    register_collector("network", collect_network)
 
 
 def workload_factory(name: str) -> WorkloadFactory:

@@ -22,18 +22,23 @@ effect) is a property of the fabric, not of test scaffolding.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import itertools
+from typing import Dict, List, Tuple
 
 from repro.params import Params
 from repro.sim import BoundedQueue, Simulator
+from repro.network.adaptive import ADP, CHANNEL_NAMES, ESC0, ESC1, TorusSwitch
 from repro.network.link import Link
 from repro.network.packet import NULL_POOL, Packet, PacketPool
 from repro.network.routing import compute_routes
 from repro.network.switch import Switch
-from repro.network.topology import Topology
+from repro.network.topology import Topology, TorusTopology
 
 #: The two virtual networks.
 VCS = ("req", "rsp")
+
+#: Supported routing modes (``ClusterConfig.routing``).
+ROUTING_MODES = ("tree", "dor", "adaptive")
 
 
 class NetworkPort:
@@ -93,11 +98,21 @@ class Fabric:
     """Builds and owns every switch and link of the cluster network."""
 
     def __init__(self, sim: Simulator, params: Params, topology: Topology,
-                 tracer=None, injector=None):
+                 tracer=None, injector=None, routing: str = "tree"):
         topology.validate()
+        if routing not in ROUTING_MODES:
+            raise ValueError(
+                f"unknown routing mode {routing!r}; expected one of "
+                f"{ROUTING_MODES}"
+            )
         self.sim = sim
         self.params = params
         self.topology = topology
+        #: Routing mode: ``"tree"`` (up*/down* spanning-tree tables,
+        #: any topology), ``"dor"`` or ``"adaptive"`` (coordinate
+        #: routing, :class:`~repro.network.topology.TorusTopology`
+        #: only — see :mod:`repro.network.adaptive`).
+        self.routing = routing
         #: Optional tracer handed to every link for activity-lane
         #: spans (see :meth:`repro.sim.Tracer.span`).
         self.tracer = tracer
@@ -109,11 +124,17 @@ class Fabric:
         #: duplication and retransmit windows create second references
         #: that outlive the receiver's service loop (see DESIGN.md).
         self.pool: PacketPool = PacketPool() if injector is None else NULL_POOL
-        #: switches[vc][switch_id]
+        #: switches[vc][switch_id] — tree-routed fabrics only.
         self.switches: Dict[str, Dict[object, Switch]] = {vc: {} for vc in VCS}
+        #: torus_switches[vc][coords] — dor/adaptive fabrics only.
+        self.torus_switches: Dict[str, Dict[object, TorusSwitch]] = {
+            vc: {} for vc in VCS}
         self.links: List[Link] = []
         self.ports: Dict[int, NetworkPort] = {}
-        self._build()
+        if routing == "tree":
+            self._build()
+        else:
+            self._build_torus()
         # Widen the kernel's near-future bucket window (see
         # Simulator.DEFAULT_BUCKET_HORIZON) to cover the slowest
         # single-packet traversal: store-and-forward charges
@@ -210,6 +231,101 @@ class Fabric:
                  injector=self.injector)
         )
 
+    def _build_torus(self) -> None:
+        """Build the coordinate-routed torus fabric: per plane, one
+        :class:`~repro.network.adaptive.TorusSwitch` per coordinate and
+        one link per (directed edge, channel class).  DOR fabrics wire
+        the two escape classes; adaptive fabrics add the adaptive
+        class.  Host attachment (FIFO depths, link names) matches the
+        tree build, so HIBs cannot tell the fabrics apart."""
+        sizing = self.params.sizing
+        timing = self.params.timing
+        topo = self.topology
+        if not isinstance(topo, TorusTopology):
+            raise ValueError(
+                f"routing {self.routing!r} requires a torus topology "
+                f"(got {type(topo).__name__}); coordinate routing needs "
+                "the dimension sizes only TorusTopology carries"
+            )
+        adaptive = self.routing == "adaptive"
+        classes = (ESC0, ESC1, ADP) if adaptive else (ESC0, ESC1)
+        host_coords: Dict[int, Tuple[int, ...]] = {
+            host: sw for host, sw in topo.host_attachment.items()
+            if isinstance(sw, tuple)
+        }
+        coords_order = list(
+            itertools.product(*(range(size) for size in topo.dims)))
+
+        for vc in VCS:
+            for coords in coords_order:
+                self.torus_switches[vc][coords] = TorusSwitch(
+                    self.sim, self.params, f"{coords}.{vc}", coords, topo,
+                    host_coords, adaptive, injector=self.injector,
+                )
+
+        # Host attachments per VC (same queues/names as the tree build).
+        for node_id in topo.hosts:
+            egress_queues: Dict[str, BoundedQueue] = {}
+            ingress_queues: Dict[str, BoundedQueue] = {}
+            for vc in VCS:
+                switch = self.torus_switches[vc][topo.host_attachment[node_id]]
+                egress = BoundedQueue(
+                    sizing.hib_out_fifo, name=f"hib{node_id}.out.{vc}"
+                )
+                ingress = BoundedQueue(
+                    sizing.hib_in_fifo, name=f"hib{node_id}.in.{vc}"
+                )
+                switch_in = switch.add_input(("host", node_id),
+                                             from_host=True)
+                self.links.append(
+                    Link(self.sim, timing, egress, switch_in,
+                         name=f"host{node_id}->sw.{vc}",
+                         node=node_id, tracer=self.tracer,
+                         injector=self.injector)
+                )
+                to_host = BoundedQueue(
+                    sizing.link_credits, name=f"sw->host{node_id}.buf.{vc}"
+                )
+                switch.add_ejection(node_id, to_host)
+                self.links.append(
+                    Link(self.sim, timing, to_host, ingress,
+                         name=f"sw->host{node_id}.{vc}",
+                         node=node_id, tracer=self.tracer,
+                         injector=self.injector)
+                )
+                egress_queues[vc] = egress
+                ingress_queues[vc] = ingress
+            self.ports[node_id] = NetworkPort(
+                node_id, egress_queues, ingress_queues, pool=self.pool,
+            )
+
+        # Inter-switch channels: every directed edge, every class.
+        for vc in VCS:
+            for coords in coords_order:
+                src = self.torus_switches[vc][coords]
+                for dim, size in enumerate(topo.dims):
+                    for step in (1, -1):
+                        nxt = list(coords)
+                        nxt[dim] = (coords[dim] + step) % size
+                        dst_coords = tuple(nxt)
+                        dst = self.torus_switches[vc][dst_coords]
+                        for cls in classes:
+                            cname = CHANNEL_NAMES[cls]
+                            buffer = BoundedQueue(
+                                sizing.link_credits,
+                                name=(f"sw{coords}->sw{dst_coords}"
+                                      f".{cname}.buf.{vc}"),
+                            )
+                            src.add_channel(dim, step, cls, buffer)
+                            dst_in = dst.add_input((coords, cname))
+                            self.links.append(
+                                Link(self.sim, timing, buffer, dst_in,
+                                     name=(f"sw{coords}->sw{dst_coords}"
+                                           f".{cname}.{vc}"),
+                                     tracer=self.tracer,
+                                     injector=self.injector)
+                            )
+
     # -- API -------------------------------------------------------------
 
     def port(self, node_id: int) -> NetworkPort:
@@ -224,6 +340,10 @@ class Fabric:
             sw.packets_routed
             for plane in self.switches.values()
             for sw in plane.values()
+        ) + sum(
+            tsw.packets_routed
+            for tplane in self.torus_switches.values()
+            for tsw in tplane.values()
         )
 
     def link_stats(self) -> Dict[str, Dict[str, int]]:

@@ -112,6 +112,7 @@ _EMPTY_META: Dict[str, Any] = {}
 _PACKET_FIELDS = (
     "kind", "src", "dst", "size_bytes", "address", "value", "op_id",
     "origin", "meta", "pid", "injected_at", "seq", "corrupted",
+    "vc_wrap",
 )
 
 
@@ -135,6 +136,12 @@ class Packet:
     - ``corrupted`` — set by the fault injector to model an in-flight
       bit error; the reliable transport treats a corrupted packet as
       lost (checksum failure) and requests retransmission.
+    - ``vc_wrap`` — per-dimension dateline bitmask used by torus
+      routing (:mod:`repro.network.adaptive`): bit *d* set means the
+      packet has crossed the dateline of torus dimension *d*, so
+      escape hops in that dimension must use virtual-channel class 1.
+      Reset to 0 at every fabric injection point; tree fabrics never
+      touch it.
     """
 
     __slots__ = _PACKET_FIELDS
@@ -175,6 +182,7 @@ class Packet:
         self.injected_at = injected_at
         self.seq = seq
         self.corrupted = corrupted
+        self.vc_wrap = 0
 
     def reply_to(self) -> int:
         """Node a reply to this packet should go to."""
@@ -273,6 +281,7 @@ class PacketPool:
         packet.injected_at = injected_at
         packet.seq = None
         packet.corrupted = False
+        packet.vc_wrap = 0
         return packet
 
     def release(self, packet: Packet) -> None:

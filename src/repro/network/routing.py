@@ -11,6 +11,13 @@ buffer sizes).
 Route tables map, per switch, destination *host* → next hop, where the
 next hop is either ``("host", node_id)`` (deliver locally) or
 ``("switch", switch_id)`` (forward on the inter-switch cable).
+
+This is the route computation for **tree fabrics**
+(``ClusterConfig(routing="tree")``, the default) — it works on any
+connected topology, torus graphs included, by simply ignoring the
+wraparound shortcuts the spanning tree prunes.  Coordinate routing
+for torus fabrics (dimension-order and minimal-adaptive, DESIGN.md
+§10) lives in :mod:`repro.network.adaptive`.
 """
 
 from __future__ import annotations

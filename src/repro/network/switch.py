@@ -20,6 +20,11 @@ VC-level flow control).  Behaviourally that means:
   and each output queue by one transmitter, so packets sharing a
   (source, destination) pair — same input, same output — never
   reorder.
+
+This is the **tree-fabric** switch (``routing="tree"``); torus
+fabrics use the per-class-channel :class:`~repro.network.adaptive.
+TorusSwitch` instead (DESIGN.md §10), which has no shared central
+buffer — backpressure there is per output channel.
 """
 
 from __future__ import annotations

@@ -5,11 +5,21 @@ A :class:`Topology` is a bipartite description of the cluster: *hosts*
 switches interconnect via inter-switch cables.  The Telegraphos I
 prototype of Figure 1 is a handful of workstations hanging off one or
 two switches connected by ribbon cables — the builders here generalise
-that: single-switch star, chain, ring, and 2-D mesh.
+that: single-switch star, chain, ring, 2-D mesh, and (as
+:class:`TorusTopology`, which additionally carries its dimension
+sizes) 2-D/3-D tori with wraparound switch edges.
+
+Tree-based up*/down* routing (:func:`repro.network.routing.
+compute_routes`) works on any of these; the torus builders are the
+ones that also support dimension-order and minimal-adaptive routing
+(``ClusterConfig(routing=...)``), because those route on switch
+*coordinates* and therefore need the dimension sizes a plain edge set
+cannot recover.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Set, Tuple
 
 
@@ -156,11 +166,88 @@ def mesh2d(rows: int, cols: int, hosts_per_switch: int = 1) -> Topology:
     return topo
 
 
+class TorusTopology(Topology):
+    """A k-ary n-cube: switch ids are coordinate tuples, every
+    dimension wraps around.
+
+    ``dims`` is the size of each dimension (e.g. ``(4, 4)`` for a 4x4
+    torus); a switch id is a tuple of per-dimension coordinates.  The
+    coordinates are load-bearing: dimension-order and minimal-adaptive
+    routing (:mod:`repro.network.adaptive`) compute next hops from
+    them instead of from routing tables, and the dateline
+    virtual-channel discipline needs to know where each ring wraps.
+    Every dimension must be >= 3 so the wraparound edge is distinct
+    from the forward edge (a 2-ring's wrap edge *is* the forward edge
+    and would silently collapse in the unordered edge set).
+    """
+
+    def __init__(self, dims: Tuple[int, ...]) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("a torus needs at least 2 dimensions")
+        for size in dims:
+            if size < 3:
+                raise ValueError(
+                    f"torus dimensions must be >= 3 (got {dims}); a "
+                    "2-ring's wraparound edge coincides with its "
+                    "forward edge"
+                )
+        self.dims: Tuple[int, ...] = tuple(dims)
+
+    def neighbor_coords(
+        self, coords: Tuple[int, ...]
+    ) -> List[Tuple[int, ...]]:
+        """The 2*n torus neighbors of ``coords``, dimension order,
+        +direction first — the deterministic candidate order adaptive
+        routing tie-breaks in."""
+        out: List[Tuple[int, ...]] = []
+        for dim, size in enumerate(self.dims):
+            for step in (1, -1):
+                nxt = list(coords)
+                nxt[dim] = (coords[dim] + step) % size
+                out.append(tuple(nxt))
+        return out
+
+
+def _torus(dims: Tuple[int, ...], hosts_per_switch: int) -> TorusTopology:
+    """Build a torus: one switch per coordinate tuple, wraparound
+    edges along every dimension, hosts attached in coordinate order."""
+    if hosts_per_switch < 1:
+        raise ValueError("need at least one host per switch")
+    topo = TorusTopology(dims)
+    node = 0
+    for coords in itertools.product(*(range(size) for size in dims)):
+        topo.add_switch(coords)
+        for _ in range(hosts_per_switch):
+            topo.attach_host(node, coords)
+            node += 1
+    for coords in itertools.product(*(range(size) for size in dims)):
+        for dim, size in enumerate(dims):
+            nxt = list(coords)
+            nxt[dim] = (coords[dim] + 1) % size
+            topo.connect_switches(coords, tuple(nxt))
+    return topo
+
+
+def torus2d(rows: int, cols: int, hosts_per_switch: int = 1) -> TorusTopology:
+    """A rows x cols torus: the 2-D mesh plus wraparound edges, so
+    every switch has degree 4 and the worst-case hop count halves."""
+    return _torus((rows, cols), hosts_per_switch)
+
+
+def torus3d(nx: int, ny: int, nz: int,
+            hosts_per_switch: int = 1) -> TorusTopology:
+    """An nx x ny x nz torus (the APEnet+ 3-D direct-network shape);
+    every switch has degree 6."""
+    return _torus((nx, ny, nz), hosts_per_switch)
+
+
 def by_name(name: str, n_hosts: int) -> Topology:
     """Build a named topology sized for ``n_hosts`` workstations.
 
     ``star`` puts everything on one switch; ``chain``/``ring`` spread
-    hosts two per switch; ``mesh`` builds the squarest grid that fits.
+    hosts two per switch; ``mesh``/``torus`` build the squarest 2-D
+    grid (open / wraparound) that fits; ``torus3d`` the smallest cube.
     """
     if name == "star":
         return star(n_hosts)
@@ -179,6 +266,20 @@ def by_name(name: str, n_hosts: int) -> Topology:
         while side * side * 2 < n_hosts:
             side += 1
         topo = mesh2d(side, side, 2)
+        _trim_hosts(topo, n_hosts)
+        return topo
+    if name == "torus":
+        side = 3
+        while side * side * 2 < n_hosts:
+            side += 1
+        topo = torus2d(side, side, 2)
+        _trim_hosts(topo, n_hosts)
+        return topo
+    if name == "torus3d":
+        side = 3
+        while side * side * side * 2 < n_hosts:
+            side += 1
+        topo = torus3d(side, side, side, 2)
         _trim_hosts(topo, n_hosts)
         return topo
     raise ValueError(f"unknown topology {name!r}")

@@ -15,6 +15,16 @@ caused them.
 Timestamps are microseconds (the format's unit); the simulation's
 integer nanoseconds divide exactly into fractional µs, so event order
 is preserved.
+
+Two **counter tracks** (``ph: "C"``) are synthesized from the
+``link_xfer`` spans after the fact — no extra simulation events, so
+enabling them cannot perturb a schedule:
+
+- ``net.in_flight`` (fabric row): packets concurrently on any link —
+  the instantaneous network occupancy the adaptive router's
+  queue-depth heuristic reacts to;
+- ``net.link_kb`` (per link row): cumulative kilobytes carried per
+  link, whose slope is that link's utilization.
 """
 
 from __future__ import annotations
@@ -54,6 +64,9 @@ def chrome_trace(cluster) -> Dict[str, Any]:
     """Build the Trace Event Format document for a finished run."""
     lanes = _LaneAllocator()
     events: List[dict] = []
+    #: (begin_ns, end_ns, pid, link name, bytes) per link_xfer span,
+    #: feeding the synthesized counter tracks below.
+    link_spans: List[tuple] = []
 
     pids = {station.node_id for station in cluster.nodes}
     events.extend(
@@ -86,6 +99,10 @@ def chrome_trace(cluster) -> Dict[str, Any]:
             name = str(fields.get("kind", "xfer"))
             args = {k: _jsonable(v) for k, v in fields.items()
                     if k not in ("begin", "node", "link")}
+            link_spans.append(
+                (begin, event.time, pid, fields["link"],
+                 fields.get("bytes", 0))
+            )
         else:
             pid = fields.get("node", FABRIC_PID)
             tid = lanes.tid(pid, "events")
@@ -102,9 +119,59 @@ def chrome_trace(cluster) -> Dict[str, Any]:
             "pid": pid, "tid": tid, "args": args,
         })
 
+    events.extend(_counter_events(link_spans))
     events.extend(lanes.metadata)
     events.sort(key=lambda e: e["ts"])
     return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def _counter_events(link_spans: List[tuple]) -> List[dict]:
+    """Counter (``ph: "C"``) tracks derived from link_xfer spans.
+
+    Purely post-hoc: the simulation recorded only the spans, so the
+    counters cost nothing at run time and cannot change a schedule.
+    """
+    out: List[dict] = []
+    if not link_spans:
+        return out
+    # Fabric-wide in-flight packets: +1 at each span begin, -1 at its
+    # end; emit one counter sample per change point.  Ends sort before
+    # begins at the same instant so a back-to-back handoff does not
+    # spike the counter.
+    changes: List[tuple] = []
+    for begin, end, _pid, _link, _size in link_spans:
+        changes.append((begin, 1))
+        changes.append((end, -1))
+    changes.sort(key=lambda c: (c[0], c[1]))
+    in_flight = 0
+    last_ts: Optional[int] = None
+    for ts, delta in changes:
+        if last_ts is not None and ts != last_ts:
+            out.append({
+                "name": "net.in_flight", "cat": "net", "ph": "C",
+                "ts": last_ts / 1000.0, "pid": FABRIC_PID, "tid": 0,
+                "args": {"packets": in_flight},
+            })
+        in_flight += delta
+        last_ts = ts
+    if last_ts is not None:
+        out.append({
+            "name": "net.in_flight", "cat": "net", "ph": "C",
+            "ts": last_ts / 1000.0, "pid": FABRIC_PID, "tid": 0,
+            "args": {"packets": in_flight},
+        })
+    # Per-link cumulative kilobytes: one sample per completed
+    # traversal; the track's slope is the link's utilization.
+    totals: Dict[str, int] = {}
+    for _begin, end, pid, link, size in sorted(
+            link_spans, key=lambda s: (s[1], s[3])):
+        totals[link] = totals.get(link, 0) + size
+        out.append({
+            "name": f"net.link_kb:{link}", "cat": "net", "ph": "C",
+            "ts": end / 1000.0, "pid": pid, "tid": 0,
+            "args": {"kb": round(totals[link] / 1024.0, 3)},
+        })
+    return out
 
 
 def _jsonable(value: Any) -> Any:

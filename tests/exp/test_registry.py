@@ -21,7 +21,7 @@ EXPECTED_IDS = [
     "S5", "S6", "S7", "S8", "A3", "A1", "A2", "X1", "X2",
 ]
 
-EXPECTED_FAMILIES = ["T2", "S3", "X1", "W1", "W2"]
+EXPECTED_FAMILIES = ["T2", "S3", "X1", "W1", "W2", "A2"]
 
 
 def test_registry_is_complete_and_unique():

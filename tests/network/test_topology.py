@@ -98,4 +98,4 @@ def test_by_name_builds_requested_host_count(name, n_hosts):
 
 def test_by_name_unknown():
     with pytest.raises(ValueError):
-        T.by_name("torus", 4)
+        T.by_name("hypercube", 4)

@@ -218,11 +218,11 @@ def test_report_cli_regenerates_committed_aggregates(tmp_path, capsys):
     shutil.rmtree(results_dir / "aggregates")
     code = main(["report", "--results-dir", str(results_dir)])
     assert code == 0
-    for family in ("T2", "S3", "X1", "W1", "W2"):
+    for family in ("T2", "S3", "X1", "W1", "W2", "A2"):
         name = f"aggregates/{family}.json"
         assert (results_dir / name).read_bytes() \
             == (REPO_ROOT / "results" / name).read_bytes()
-    assert "wrote 5 aggregates" in capsys.readouterr().out
+    assert "wrote 6 aggregates" in capsys.readouterr().out
 
 
 def test_report_cli_check_fails_on_missing_aggregates(tmp_path, capsys):
